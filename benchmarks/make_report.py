@@ -1,0 +1,107 @@
+#!/usr/bin/env python
+"""Regenerate every paper experiment and bundle the outputs into a report.
+
+Runs the whole benchmark suite (shape checks included) and stitches the
+``results/*.txt`` series files into ``results/REPORT.md``, ordered as in
+the paper's evaluation section.
+
+Usage:  python benchmarks/make_report.py  [--skip-run]
+"""
+
+import argparse
+import datetime
+import os
+import subprocess
+import sys
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+REPO = os.path.dirname(HERE)
+RESULTS = os.path.join(REPO, "results")
+
+#: Report order: (results-file stem, section heading).
+SECTIONS = [
+    ("table2_datasets", "Table II — dataset statistics"),
+    ("table3_index_build", "Table III — index sizes and build times"),
+    ("fig14_vary_mn", "Figure 14 — varying N and M"),
+    ("fig15_pruning_vary_k", "Figure 15 — pruning techniques vs k"),
+    ("fig16_pruning_vary_direction",
+     "Figure 16 — pruning techniques vs direction width"),
+    ("fig17_compare_vary_direction",
+     "Figure 17 — comparison vs direction width"),
+    ("fig18_compare_vary_k", "Figure 18 — comparison vs k"),
+    ("fig19_compare_vary_keywords",
+     "Figure 19 — comparison vs keyword count"),
+    ("fig20a_incremental_increase",
+     "Figure 20(a) — incremental, increasing direction"),
+    ("fig20b_incremental_move",
+     "Figure 20(b) — incremental, moving direction"),
+    ("fig21_scalability", "Figure 21 — scalability"),
+    ("ablation_baseline_direction",
+     "Ablation — exact MBR direction pruning for baselines"),
+    ("ablation_cold_warm", "Ablation — cold vs warm buffer pool"),
+    ("ablation_buffer_capacity", "Ablation — buffer capacity"),
+    ("ablation_layout", "Ablation — POI-list layout"),
+    ("ablation_dynamic_delta", "Ablation — dynamic delta fraction"),
+    ("ablation_dynamic_inserts", "Ablation — insert throughput"),
+    ("io_comparison", "I/O comparison — pages vs node accesses"),
+    ("scale_large", "Opt-in large-scale run (DESKS_LARGE=1)"),
+]
+
+
+def run_benchmarks() -> int:
+    """Execute the benchmark suite, letting output stream through."""
+    return subprocess.call(
+        [sys.executable, "-m", "pytest", HERE, "--benchmark-disable",
+         "-p", "no:cacheprovider", "-q"], cwd=REPO)
+
+
+def write_report() -> str:
+    lines = [
+        "# DESKS reproduction — measured results",
+        "",
+        f"Generated {datetime.datetime.now():%Y-%m-%d %H:%M} by "
+        "`benchmarks/make_report.py`.  Shapes these series must satisfy, "
+        "and paper-vs-measured commentary, live in EXPERIMENTS.md.",
+        "",
+    ]
+    missing = []
+    for stem, heading in SECTIONS:
+        path = os.path.join(RESULTS, f"{stem}.txt")
+        lines.append(f"## {heading}")
+        lines.append("")
+        if os.path.exists(path):
+            with open(path, encoding="utf-8") as handle:
+                lines.append("```")
+                lines.append(handle.read().rstrip())
+                lines.append("```")
+        else:
+            lines.append(f"*missing: {path}*")
+            missing.append(stem)
+        lines.append("")
+    out = os.path.join(RESULTS, "REPORT.md")
+    os.makedirs(RESULTS, exist_ok=True)
+    with open(out, "w", encoding="utf-8") as handle:
+        handle.write("\n".join(lines))
+    if missing:
+        print(f"warning: {len(missing)} experiment(s) had no results: "
+              f"{', '.join(missing)}")
+    return out
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--skip-run", action="store_true",
+                        help="only stitch existing results/ files")
+    args = parser.parse_args()
+    if not args.skip_run:
+        code = run_benchmarks()
+        if code != 0:
+            print("benchmark suite reported failures; "
+                  "report reflects the latest successful writes")
+    path = write_report()
+    print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

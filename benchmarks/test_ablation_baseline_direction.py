@@ -1,0 +1,73 @@
+"""Ablation (beyond the paper) — giving the baselines exact MBR pruning.
+
+The paper extends the baselines with per-candidate direction verification
+(the two-step method).  A natural question the paper does not evaluate:
+how much of DESKS's advantage survives if the baselines are given an
+*exact* direction test on every subtree MBR (the subtended-arc check in
+:func:`repro.geometry.direction_overlaps_mbr`)?
+
+Answer (measured here, and worth knowing): arc pruning *removes* the
+baselines' narrow-width blow-up entirely — the per-entry subtended-arc
+test is an exact direction filter, so the candidate stream becomes
+width-insensitive and the arc-pruned R-tree examines POI counts comparable
+to (at narrow widths even below) DESKS.  In other words, a large share of
+DESKS's advantage over the *published* baselines comes from their lack of
+any subtree-level direction test; DESKS's remaining edge is structural —
+direction-sorted posting slices give sequential I/O and cheap conjunctive
+intersection, where the R-tree pays scattered node reads (visible in the
+paper's disk-resident setting, muted in RAM).
+"""
+
+import math
+
+from repro.bench import (
+    baseline_search_fn,
+    desks_search_fn,
+    format_series_table,
+    generate_queries,
+    run_workload,
+    write_result,
+)
+from repro.core import PruningMode
+
+WIDTH_STEPS = (1, 3, 6, 12)  # * pi/6
+QUERIES_PER_POINT = 25
+
+
+def test_ablation_exact_mbr_direction_pruning(datasets, desks_searchers,
+                                              baseline_indexes):
+    collection = datasets["CA"]
+    searcher = desks_searchers["CA"]
+    mir2 = baseline_indexes["CA"]["MIR2-tree"]
+
+    def mir2_arc_fn(query, stats):
+        return mir2.search(query, stats, prune_direction=True)
+
+    methods = {
+        "Desks": desks_search_fn(searcher, PruningMode.RD),
+        "MIR2 two-step": baseline_search_fn(mir2),
+        "MIR2 arc-pruned": mir2_arc_fn,
+    }
+    poi_cols = {name: [] for name in methods}
+    for step in WIDTH_STEPS:
+        queries = generate_queries(collection, QUERIES_PER_POINT, 2,
+                                   step * math.pi / 6, k=10, seed=25)
+        for name, fn in methods.items():
+            run = run_workload(name, fn, queries)
+            poi_cols[name].append(run.avg_pois_examined)
+    table = format_series_table(
+        "Ablation (CA): exact MBR direction pruning for the baseline",
+        "beta-alpha", [f"{s}pi/6" for s in WIDTH_STEPS], poi_cols,
+        unit="POIs")
+    print()
+    print(table)
+    write_result("ablation_baseline_direction", table)
+
+    # Arc pruning fixes the two-step blow-up at narrow widths entirely.
+    assert poi_cols["MIR2 arc-pruned"][0] < 0.2 * poi_cols["MIR2 two-step"][0]
+    # The arc-pruned variant is width-insensitive (no narrow-width spike).
+    assert max(poi_cols["MIR2 arc-pruned"]) <= \
+        3.0 * max(min(poi_cols["MIR2 arc-pruned"]), 1e-9) * 3
+    # DESKS still dominates the baselines as published (two-step).
+    for i in range(len(WIDTH_STEPS) - 1):
+        assert poi_cols["Desks"][i] < poi_cols["MIR2 two-step"][i]

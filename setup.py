@@ -1,0 +1,10 @@
+"""Legacy shim so `pip install -e .` / `setup.py develop` work offline.
+
+The environment has setuptools but no `wheel` package and no network, so the
+PEP-517 editable path (which builds a wheel) is unavailable.  All metadata
+lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,169 @@
+"""Shared machinery for the baseline competitors.
+
+The paper extends two published spatial-keyword indexes — MIR2-tree [6] and
+LkT/IR-tree [5] — to direction-aware search "by examining whether each
+accessed MBR (or POI) is in the search direction".  Both are R-trees whose
+descent prunes children by a per-node textual summary; they differ only in
+what that summary is (signatures vs inverted files).  This module hosts the
+common best-first kNN engine with three hook points:
+
+* ``entry_allowed(node, entry)`` — textual pruning of a child entry;
+* the direction check against the MBR (shared, exact for rectangles);
+* exact keyword + direction verification of candidate POIs.
+"""
+
+from __future__ import annotations
+
+import heapq
+import time
+from typing import FrozenSet, Iterator, List, Optional, Tuple
+
+from ..datasets import POICollection
+from ..geometry import direction_overlaps_mbr
+from ..rtree import Neighbor, Node, RTree
+from ..storage import SearchStats
+from ..core.query import (
+    DirectionalQuery,
+    MatchMode,
+    QueryResult,
+    ResultEntry,
+)
+
+
+class BaselineIndex:
+    """Base class: an R-tree over the collection plus textual summaries."""
+
+    #: Human-readable method name for benchmark tables.
+    name = "baseline"
+
+    def __init__(self, collection: POICollection, fanout: int = 50) -> None:
+        self.collection = collection
+        started = time.perf_counter()
+        items = [(poi.location, poi.poi_id) for poi in collection]
+        self.tree = RTree.bulk_load(items, fanout=fanout)
+        self._build_summaries()
+        self.build_seconds = time.perf_counter() - started
+
+    # -- subclass hooks ------------------------------------------------------
+
+    def _build_summaries(self) -> None:
+        """Attach per-node textual summaries (default: none)."""
+
+    def entry_allowed(self, node: Node, entry_index: int,
+                      query_terms: FrozenSet[int],
+                      match_all: bool = True) -> bool:
+        """May the subtree/POI under this entry match the query terms?
+
+        ``match_all`` selects conjunctive (the paper's) vs disjunctive
+        semantics.  Sound textual pruning: must return True whenever the
+        answer could be yes (false positives allowed, false negatives
+        not).
+        """
+        return True
+
+    # -- size accounting -------------------------------------------------------
+
+    @property
+    def tree_size_bytes(self) -> int:
+        """Approximate R-tree footprint: 40 B/entry + 16 B/node."""
+        entries = sum(len(n.entries) for n in self.tree.iter_nodes())
+        return 40 * entries + 16 * self.tree.num_nodes
+
+    @property
+    def size_bytes(self) -> int:
+        return self.tree_size_bytes + self.summary_size_bytes
+
+    @property
+    def summary_size_bytes(self) -> int:
+        return 0
+
+    # -- search ------------------------------------------------------------------
+
+    def search(self, query: DirectionalQuery,
+               stats: Optional[SearchStats] = None,
+               prune_direction: bool = False) -> QueryResult:
+        """Direction-extended best-first top-k.
+
+        The default (``prune_direction=False``) is the paper's extension of
+        the baselines: candidates are drawn in distance order using keyword
+        pruning only, and the direction constraint is verified per POI.
+        Its cost explodes for narrow directions — most candidates fail
+        verification — which is exactly the behaviour Figures 17-19 show.
+
+        ``prune_direction=True`` additionally prunes subtrees whose MBR
+        subtends no direction inside the query interval (an exact test for
+        rectangles).  This is *stronger* than the paper's baselines — such
+        direction-aware pruning is DESKS's own contribution — and is kept
+        as an ablation: see ``benchmarks/test_ablation_baseline_direction``.
+        """
+        term_ids = self.collection.query_term_ids(
+            query.keywords,
+            require_all=query.match_mode is MatchMode.ALL)
+        if term_ids is None:
+            return QueryResult([])
+        out: List[ResultEntry] = []
+        for neighbor in self._candidate_stream(query, term_ids, stats,
+                                               prune_direction):
+            poi = self.collection[neighbor.object_id]
+            if stats is not None:
+                stats.candidates_verified += 1
+            if not query.matches(poi.location, poi.keywords):
+                continue
+            out.append(ResultEntry(neighbor.object_id, neighbor.distance))
+            if len(out) == query.k:
+                break
+        return QueryResult(out)
+
+    def _candidate_stream(self, query: DirectionalQuery,
+                          term_ids: FrozenSet[int],
+                          stats: Optional[SearchStats],
+                          prune_direction: bool) -> Iterator[Neighbor]:
+        """Distance-ordered candidates surviving textual/direction pruning."""
+        if len(self.tree) == 0:
+            return
+        q = query.location
+        match_all = query.match_mode is MatchMode.ALL
+        counter = 0
+        heap: List[Tuple[float, int, object]] = [
+            (self.tree.root.mbr().min_distance_to_point(q), 0,
+             self.tree.root)]
+        while heap:
+            _, __, item = heapq.heappop(heap)
+            if isinstance(item, Neighbor):
+                yield item
+                continue
+            node: Node = item
+            if stats is not None:
+                stats.nodes_examined += 1
+            for idx, entry in enumerate(node.entries):
+                if not self.entry_allowed(node, idx, term_ids, match_all):
+                    continue
+                if prune_direction and not direction_overlaps_mbr(
+                        q, query.interval, entry.mbr):
+                    continue
+                counter += 1
+                distance = entry.mbr.min_distance_to_point(q)
+                if node.is_leaf:
+                    if stats is not None:
+                        stats.pois_examined += 1
+                        stats.distance_computations += 1
+                    heapq.heappush(heap, (distance, counter,
+                                          Neighbor(entry.child, distance)))
+                else:
+                    heapq.heappush(heap, (distance, counter, entry.child))
+
+
+class FilterThenVerify(BaselineIndex):
+    """The straightforward method of the paper's introduction.
+
+    A plain R-tree; candidates are drawn by distance only (no textual or
+    directional node pruning) and every candidate is verified afterwards.
+    This is the weakest baseline and the motivation for everything else.
+    """
+
+    name = "filter-verify"
+
+    def search(self, query: DirectionalQuery,
+               stats: Optional[SearchStats] = None,
+               prune_direction: bool = False) -> QueryResult:
+        return super().search(query, stats, prune_direction=prune_direction)

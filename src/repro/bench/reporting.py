@@ -1,0 +1,115 @@
+"""Plain-text rendering of benchmark series in the paper's shape.
+
+Each experiment produces a *series table*: one row per x-value (k, direction
+width, keyword count, ...) and one column per method — the same rows/series
+the paper plots.  Results are also appended to ``results/`` files so
+EXPERIMENTS.md can quote measured numbers.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Optional, Sequence
+
+
+def format_series_table(title: str, x_label: str,
+                        x_values: Sequence, columns: Dict[str, List[float]],
+                        unit: str = "ms") -> str:
+    """Render one experiment's series as an aligned text table."""
+    names = list(columns)
+    for name in names:
+        if len(columns[name]) != len(x_values):
+            raise ValueError(
+                f"column {name!r} has {len(columns[name])} values for "
+                f"{len(x_values)} x-values")
+    width = max(12, max((len(n) for n in names), default=12) + 2)
+    lines = [title, "=" * len(title)]
+    header = f"{x_label:<16}" + "".join(f"{n:>{width}}" for n in names)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for i, x in enumerate(x_values):
+        cells = "".join(f"{columns[n][i]:>{width}.3f}" for n in names)
+        lines.append(f"{str(x):<16}" + cells)
+    lines.append(f"(values in {unit})")
+    return "\n".join(lines)
+
+
+def write_result(name: str, content: str,
+                 results_dir: Optional[str] = None) -> str:
+    """Write one experiment's rendered output under ``results/``.
+
+    Returns the path written.  The directory defaults to ``results`` next
+    to the current working directory (the repo root when run via pytest).
+    """
+    directory = results_dir or os.path.join(os.getcwd(), "results")
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, f"{name}.txt")
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(content.rstrip() + "\n")
+    return path
+
+
+def ascii_chart(title: str, x_labels: Sequence,
+                columns: Dict[str, List[float]], height: int = 12,
+                log_scale: bool = False) -> str:
+    """Render series as a rough ASCII line chart (one glyph per series).
+
+    The paper's comparison figures are log-scale plots; ``log_scale=True``
+    reproduces that reading.  Intended for the ``results/`` files — a shape
+    you can eyeball without plotting libraries.
+    """
+    import math as _math
+
+    if height < 2:
+        raise ValueError(f"chart height must be at least 2, got {height}")
+    names = list(columns)
+    if not names or not x_labels:
+        raise ValueError("ascii_chart needs at least one series and x value")
+    for name in names:
+        if len(columns[name]) != len(x_labels):
+            raise ValueError(
+                f"series {name!r} length != number of x labels")
+    glyphs = "*o+x#@%&"
+
+    def transform(v: float) -> float:
+        if log_scale:
+            return _math.log10(max(v, 1e-12))
+        return v
+
+    values = [transform(v) for name in names for v in columns[name]]
+    lo, hi = min(values), max(values)
+    span = hi - lo or 1.0
+    # grid[row][col]; row 0 is the top.
+    width = len(x_labels)
+    grid = [[" "] * width for _ in range(height)]
+    for series_idx, name in enumerate(names):
+        glyph = glyphs[series_idx % len(glyphs)]
+        for col, value in enumerate(columns[name]):
+            level = (transform(value) - lo) / span
+            row = height - 1 - int(round(level * (height - 1)))
+            cell = grid[row][col]
+            grid[row][col] = "=" if cell not in (" ", glyph) else glyph
+
+    def fmt_axis(v: float) -> str:
+        raw = 10 ** v if log_scale else v
+        return f"{raw:10.3g}"
+
+    lines = [title]
+    for row_idx, row in enumerate(grid):
+        level = hi - span * row_idx / (height - 1)
+        axis = fmt_axis(level)
+        lines.append(f"{axis} |" + "  ".join(row))
+    lines.append(" " * 10 + " +" + "-" * (3 * width - 2))
+    label_line = " " * 12 + "".join(f"{str(x):<3}"[:3] for x in x_labels)
+    lines.append(label_line)
+    legend = "  ".join(f"{glyphs[i % len(glyphs)]}={name}"
+                       for i, name in enumerate(names))
+    lines.append(" " * 12 + legend + ("  (log scale)" if log_scale else ""))
+    return "\n".join(lines)
+
+
+def speedup(baseline_value: float, method_value: float) -> float:
+    """How many times faster ``method`` is than ``baseline``."""
+    if method_value <= 0.0:
+        return float("inf")
+    return baseline_value / method_value

@@ -1,0 +1,227 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+``generate``
+    Write a synthetic POI dataset (Table II preset or custom) to CSV.
+``stats``
+    Print Table II-style statistics for a POI CSV.
+``build``
+    Build a DESKS index over a POI CSV and save it to a directory.
+``query``
+    Answer one direction-aware query, building the index on the fly from
+    a CSV or loading a saved one with ``--index``.
+``bench``
+    Quick single-machine comparison of DESKS vs the baselines on a CSV.
+"""
+
+from __future__ import annotations
+
+import argparse
+import math
+import sys
+import time
+from typing import List, Optional
+
+from .baselines import FilterThenVerify, IRTree, MIR2Tree
+from .core import (
+    DesksIndex,
+    DesksSearcher,
+    DirectionalQuery,
+    MatchMode,
+    PruningMode,
+    load_index,
+    save_index,
+)
+from .datasets import (
+    SyntheticConfig,
+    dataset_statistics,
+    format_table2,
+    generate,
+    load_csv,
+    load_preset,
+    save_csv,
+)
+from .storage import SearchStats
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="DESKS: direction-aware spatial keyword search "
+                    "(ICDE 2012 reproduction)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_gen = sub.add_parser("generate", help="write a synthetic POI CSV")
+    p_gen.add_argument("output", help="output CSV path")
+    p_gen.add_argument("--preset", choices=["CA", "VA", "CN"],
+                       help="Table II preset (overrides size options)")
+    p_gen.add_argument("--scale", type=float, default=100.0,
+                       help="preset scale divisor (default 100)")
+    p_gen.add_argument("--pois", type=int, default=10_000)
+    p_gen.add_argument("--terms", type=int, default=5_000)
+    p_gen.add_argument("--terms-per-poi", type=float, default=4.0)
+    p_gen.add_argument("--seed", type=int, default=7)
+
+    p_stats = sub.add_parser("stats", help="Table II statistics for a CSV")
+    p_stats.add_argument("input", help="POI CSV path")
+
+    p_build = sub.add_parser(
+        "build", help="build a DESKS index and save it to a directory")
+    p_build.add_argument("input", help="POI CSV path")
+    p_build.add_argument("output", help="index directory to create")
+    p_build.add_argument("--bands", type=int, default=None)
+    p_build.add_argument("--wedges", type=int, default=None)
+
+    p_query = sub.add_parser(
+        "query", help="answer one query over a CSV or saved index")
+    p_query.add_argument("input", help="POI CSV path or (with --index) "
+                                       "a saved index directory")
+    p_query.add_argument("--index", action="store_true",
+                         help="treat input as a saved index directory")
+    p_query.add_argument("-x", type=float, required=True)
+    p_query.add_argument("-y", type=float, required=True)
+    p_query.add_argument("--alpha", type=float, default=0.0,
+                         help="lower direction bound in degrees")
+    p_query.add_argument("--beta", type=float, default=360.0,
+                         help="upper direction bound in degrees")
+    p_query.add_argument("--keywords", nargs="+", required=True)
+    p_query.add_argument("-k", type=int, default=10)
+    p_query.add_argument("--mode", choices=["R", "D", "RD"], default="RD")
+    p_query.add_argument("--match-any", action="store_true",
+                         help="match POIs containing ANY keyword "
+                              "(default: ALL)")
+    p_query.add_argument("--bands", type=int, default=None)
+    p_query.add_argument("--wedges", type=int, default=None)
+
+    p_bench = sub.add_parser(
+        "bench", help="compare DESKS vs baselines on a CSV")
+    p_bench.add_argument("input", help="POI CSV path")
+    p_bench.add_argument("--queries", type=int, default=50)
+    p_bench.add_argument("--width", type=float, default=60.0,
+                         help="direction width in degrees")
+    p_bench.add_argument("-k", type=int, default=10)
+    p_bench.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    if args.preset:
+        collection = load_preset(args.preset, scale=args.scale)
+    else:
+        collection = generate(SyntheticConfig(
+            name="custom", num_pois=args.pois,
+            num_unique_terms=args.terms,
+            avg_terms_per_poi=args.terms_per_poi, seed=args.seed))
+    save_csv(collection, args.output)
+    print(f"wrote {len(collection)} POIs to {args.output}")
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    collection = load_csv(args.input)
+    print(format_table2([dataset_statistics(args.input, collection)]))
+    return 0
+
+
+def _cmd_build(args: argparse.Namespace) -> int:
+    collection = load_csv(args.input)
+    started = time.perf_counter()
+    index = DesksIndex(collection, num_bands=args.bands,
+                       num_wedges=args.wedges)
+    save_index(index, args.output)
+    elapsed = time.perf_counter() - started
+    print(f"built and saved index over {len(collection)} POIs "
+          f"(N={index.num_bands}, M={index.num_wedges}) to {args.output} "
+          f"in {elapsed:.2f} s")
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    started = time.perf_counter()
+    if args.index:
+        index = load_index(args.input)
+        collection = index.collection
+    else:
+        collection = load_csv(args.input)
+        index = DesksIndex(collection, num_bands=args.bands,
+                           num_wedges=args.wedges)
+    build_ms = (time.perf_counter() - started) * 1000.0
+    searcher = DesksSearcher(index)
+    mode = MatchMode.ANY if args.match_any else MatchMode.ALL
+    query = DirectionalQuery.make(
+        args.x, args.y, math.radians(args.alpha), math.radians(args.beta),
+        args.keywords, args.k, match_mode=mode)
+    stats = SearchStats()
+    started = time.perf_counter()
+    result = searcher.search(query, PruningMode[args.mode], stats)
+    query_ms = (time.perf_counter() - started) * 1000.0
+    print(f"index: N={index.num_bands} M={index.num_wedges} "
+          f"({build_ms:.0f} ms build); query: {query_ms:.2f} ms, "
+          f"{stats.pois_examined} POIs examined")
+    from .core import CardinalityEstimator
+
+    print(CardinalityEstimator(collection).summary(query))
+    if not result.entries:
+        print("no answers in the given direction with those keywords")
+    for rank, entry in enumerate(result, start=1):
+        poi = collection[entry.poi_id]
+        bearing = (math.degrees(
+            query.location.direction_to(poi.location))
+            if poi.location != query.location else 0.0)
+        print(f"{rank:3}. poi#{entry.poi_id:<8} dist={entry.distance:10.2f}"
+              f"  bearing={bearing:6.1f} deg  "
+              f"{' '.join(sorted(poi.keywords)[:6])}")
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from .bench import (
+        baseline_search_fn,
+        desks_search_fn,
+        generate_queries,
+        run_workload,
+    )
+
+    collection = load_csv(args.input)
+    queries = generate_queries(
+        collection, args.queries, num_keywords=2,
+        direction_width=math.radians(args.width), k=args.k, seed=args.seed)
+    searcher = DesksSearcher(DesksIndex(collection))
+    methods = [
+        ("DESKS", desks_search_fn(searcher, PruningMode.RD)),
+        ("MIR2-tree", baseline_search_fn(MIR2Tree(collection))),
+        ("LkT", baseline_search_fn(IRTree(collection))),
+        ("filter-verify", baseline_search_fn(FilterThenVerify(collection))),
+    ]
+    print(f"{'method':<16}{'avg ms':>10}{'avg POIs':>12}")
+    for name, fn in methods:
+        run = run_workload(name, fn, queries)
+        print(f"{name:<16}{run.avg_ms:>10.3f}{run.avg_pois_examined:>12.1f}")
+    return 0
+
+
+_COMMANDS = {
+    "generate": _cmd_generate,
+    "stats": _cmd_stats,
+    "build": _cmd_build,
+    "query": _cmd_query,
+    "bench": _cmd_bench,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via main()
+    sys.exit(main())

@@ -1,0 +1,33 @@
+"""Exact linear-scan oracle for direction-aware spatial keyword queries.
+
+Used as ground truth in the test suite and as the no-index baseline in
+benchmarks.  Deliberately written straight from Definition 1, with no
+cleverness to share bugs with.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..datasets import POICollection
+from ..storage import SearchStats
+from .query import DirectionalQuery, QueryResult, ResultEntry
+
+
+def brute_force_search(collection: POICollection, query: DirectionalQuery,
+                       stats: Optional[SearchStats] = None) -> QueryResult:
+    """All-pairs evaluation of Definition 1: scan, filter, sort, take k."""
+    matches: List[ResultEntry] = []
+    for poi in collection:
+        if stats is not None:
+            stats.pois_examined += 1
+        if not query.keywords_match(poi.keywords):
+            continue
+        if stats is not None:
+            stats.distance_computations += 1
+        if not query.matches(poi.location, poi.keywords):
+            continue
+        matches.append(ResultEntry(
+            poi.poi_id, query.location.distance_to(poi.location)))
+    matches.sort()
+    return QueryResult(matches[:query.k])

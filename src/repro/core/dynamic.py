@@ -1,0 +1,160 @@
+"""Dynamic updates — the paper's declared future work.
+
+The DESKS structure is built by global sorts (distance bands, direction
+wedges) and densely packed posting lists, so in-place insertion would
+shift every slice behind the insertion point.  We instead use the standard
+main-plus-delta design databases reach for in this situation:
+
+* inserts land in an unindexed **delta buffer**, scanned linearly at query
+  time (cheap while small);
+* deletes become **tombstones**, filtered during verification;
+* when the delta grows past ``rebuild_threshold`` (a fraction of the
+  indexed size), the static index is rebuilt to absorb it.
+
+Queries remain exact at every moment; amortised insert cost is O(1) plus
+the periodic rebuild, the classic LSM-style trade.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Set
+
+from ..datasets import POI, POICollection
+from ..storage import SearchStats
+from .index import DesksIndex
+from .query import DirectionalQuery, QueryResult, ResultEntry
+from .search import DesksSearcher, PruningMode
+
+
+class MutableDesksIndex:
+    """A DESKS index that supports insert/delete with exact answers."""
+
+    def __init__(self, collection: POICollection,
+                 num_bands: Optional[int] = None,
+                 num_wedges: Optional[int] = None,
+                 rebuild_threshold: float = 0.25) -> None:
+        if not 0.0 < rebuild_threshold <= 1.0:
+            raise ValueError(
+                f"rebuild_threshold must be in (0, 1]: {rebuild_threshold}")
+        self._num_bands = num_bands
+        self._num_wedges = num_wedges
+        self.rebuild_threshold = rebuild_threshold
+        self._delta: List[POI] = []
+        self._deleted: Set[int] = set()
+        self.rebuild_count = 0
+        self._build(collection)
+
+    def _build(self, collection: POICollection) -> None:
+        self._index = DesksIndex(collection, self._num_bands,
+                                 self._num_wedges)
+        self._searcher = DesksSearcher(self._index)
+
+    # -- state -----------------------------------------------------------
+
+    @property
+    def collection(self) -> POICollection:
+        """The currently indexed (static) collection."""
+        return self._index.collection
+
+    @property
+    def num_pending(self) -> int:
+        """Inserts waiting in the delta buffer."""
+        return len(self._delta)
+
+    def __len__(self) -> int:
+        return (len(self.collection) + len(self._delta)
+                - len(self._deleted))
+
+    # -- updates -------------------------------------------------------------
+
+    def insert(self, x: float, y: float, keywords: Iterable[str]) -> int:
+        """Insert a POI; returns its (stable) id.
+
+        Delta ids continue the static collection's id space, so ids remain
+        unique across rebuilds within this wrapper.
+        """
+        poi_id = len(self.collection) + len(self._delta)
+        self._delta.append(POI.make(poi_id, x, y, keywords))
+        if len(self._delta) > self.rebuild_threshold * max(
+                len(self.collection), 1):
+            self._rebuild()
+        return poi_id
+
+    def delete(self, poi_id: int) -> bool:
+        """Tombstone a POI; returns False when the id is unknown/deleted."""
+        if poi_id in self._deleted:
+            return False
+        total = len(self.collection) + len(self._delta)
+        if not 0 <= poi_id < total:
+            return False
+        self._deleted.add(poi_id)
+        # Tombstones inflate the static index's effective k (see search);
+        # absorb them once they pile up, like the insert path does.
+        if (len(self._deleted) > self.rebuild_threshold
+                * max(len(self.collection), 1) and len(self) > 0):
+            self._rebuild()
+        return True
+
+    def _rebuild(self) -> None:
+        """Merge delta and tombstones into a fresh static index."""
+        survivors = [
+            POI.make(new_id, poi.location.x, poi.location.y, poi.keywords)
+            for new_id, poi in enumerate(
+                p for p in list(self.collection) + self._delta
+                if p.poi_id not in self._deleted)
+        ]
+        # Rebuilding re-densifies ids: previously returned ids become
+        # invalid after a rebuild, which callers can detect via
+        # ``rebuild_count`` (documented contract of the delta design).
+        self._delta = []
+        self._deleted = set()
+        self.rebuild_count += 1
+        self._build(POICollection(survivors))
+
+    # -- queries ------------------------------------------------------------------
+
+    def search(self, query: DirectionalQuery,
+               mode: PruningMode = PruningMode.RD,
+               stats: Optional[SearchStats] = None) -> QueryResult:
+        """Exact top-k over static index + delta buffer - tombstones."""
+        if self._deleted:
+            # Tombstones may knock answers out of the static top-k; ask the
+            # static index for enough extras to guarantee k live results.
+            inflated = DirectionalQuery(query.location, query.interval,
+                                        query.keywords,
+                                        query.k + len(self._deleted),
+                                        query.match_mode)
+            indexed = self._searcher.search(inflated, mode, stats)
+        else:
+            indexed = self._searcher.search(query, mode, stats)
+        merged = [e for e in indexed.entries
+                  if e.poi_id not in self._deleted]
+        for poi in self._delta:
+            if poi.poi_id in self._deleted:
+                continue
+            if stats is not None:
+                stats.pois_examined += 1
+            if not query.matches(poi.location, poi.keywords):
+                continue
+            merged.append(ResultEntry(
+                poi.poi_id, query.location.distance_to(poi.location)))
+        merged.sort()
+        return QueryResult(merged[:query.k])
+
+    def live_pois(self) -> List[POI]:
+        """All currently visible POIs (static + delta, minus tombstones)."""
+        out = [p for p in self.collection if p.poi_id not in self._deleted]
+        out.extend(p for p in self._delta
+                   if p.poi_id not in self._deleted)
+        return out
+
+    def get(self, poi_id: int) -> POI:
+        """Look up a POI by id (static or delta); raises on deleted ids."""
+        if poi_id in self._deleted:
+            raise KeyError(f"poi {poi_id} is deleted")
+        if poi_id < len(self.collection):
+            return self.collection[poi_id]
+        delta_pos = poi_id - len(self.collection)
+        if delta_pos < len(self._delta):
+            return self._delta[delta_pos]
+        raise KeyError(f"unknown poi id {poi_id}")

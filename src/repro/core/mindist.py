@@ -1,0 +1,304 @@
+"""MINDIST functions and direction bounds for bands and sub-regions.
+
+Everything here operates in the canonical frame of one anchor: the anchor is
+the origin, the dataset rectangle is ``[0, L] x [0, H]``, and the basic
+query's direction interval satisfies ``0 <= alpha <= beta <= pi/2``.
+
+* :func:`band_mindist` — the paper's Eq. 4, ``MINDIST(q, R_i)``.
+* :func:`subregion_mindist` — the paper's Table I, ``MINDIST(q, R_ij)``.
+* :meth:`BasicQueryGeometry.band_direction_bounds` — the tighter per-band
+  bounds ``tau_l^{R_i}`` / ``tau_u^{R_i}`` of Eqs. 5-6 (Lemma 4), falling
+  back to the region-wide bounds of Lemma 2.
+
+All values are *lower bounds* on true distances: when floating-point
+degeneracies make one of the paper's intersection points undefined, the code
+falls back to the plain annulus bound, which is always valid — a looser
+bound costs work, never correctness.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from ..geometry import (
+    HALF_PI,
+    DirectionInterval,
+    Point,
+    ray_circle_intersection,
+    ray_ray_intersection,
+    ray_rectangle_exit,
+)
+
+INF = math.inf
+
+
+def polar_point(radius: float, theta: float) -> Point:
+    """The point at polar coordinates ``(radius, theta)`` about the origin."""
+    return Point(radius * math.cos(theta), radius * math.sin(theta))
+
+
+def annulus_mindist(qd: float, inner: float, outer: float) -> float:
+    """Distance from a point at radius ``qd`` to the annulus [inner, outer].
+
+    Direction-free and valid for any query position; the universal fallback
+    lower bound.
+    """
+    if qd < inner:
+        return inner - qd
+    if outer is not INF and qd > outer:
+        return qd - outer
+    return 0.0
+
+
+@dataclass
+class BasicQueryGeometry:
+    """Cached per-(sub)query geometry: q in canonical coordinates + bounds.
+
+    Built once per basic sub-query; every band and sub-region bound below
+    reads from it.  ``inside_rect`` records whether the canonical query point
+    lies inside the dataset rectangle — the paper's lemmas assume it does,
+    and when it does not we keep only the fallback bounds (documented in
+    DESIGN.md).
+    """
+
+    q: Point
+    alpha: float
+    beta: float
+    length: float
+    height: float
+
+    def __post_init__(self) -> None:
+        self.qd = math.hypot(self.q.x, self.q.y)
+        if self.qd > 0.0:
+            self.q_theta = math.atan2(self.q.y, self.q.x)
+        else:
+            # A query on the anchor has no direction; the midpoint keeps
+            # every case formula consistent (all rays leave the origin).
+            self.q_theta = (self.alpha + self.beta) / 2.0
+        self.inside_rect = (
+            -1e-9 <= self.q.x <= self.length + 1e-9
+            and -1e-9 <= self.q.y <= self.height + 1e-9)
+        # Exit points of the alpha/beta rays through the rectangle boundary
+        # (the paper's q_alpha^R and q_beta^R, Eq. 3) and their anchor
+        # directions, used by Lemma 2 and as the Eq. 5/6 fallback.
+        self._exit_alpha = ray_rectangle_exit(
+            self.q, self.alpha, self.length, self.height)
+        self._exit_beta = ray_rectangle_exit(
+            self.q, self.beta, self.length, self.height)
+        self.theta_exit_alpha = _anchor_angle(self._exit_alpha)
+        self.theta_exit_beta = _anchor_angle(self._exit_beta)
+
+    # -- Lemma 2: region-wide direction bounds ------------------------------
+
+    def region_direction_bounds(self) -> Tuple[float, float]:
+        """``(tau_l^R, tau_u^R)``: anchor-angle range of possible answers."""
+        if not self.inside_rect:
+            return (0.0, HALF_PI)
+        lo = self.q_theta
+        if self.theta_exit_alpha is not None:
+            lo = min(lo, self.theta_exit_alpha)
+        hi = self.q_theta
+        if self.theta_exit_beta is not None:
+            hi = max(hi, self.theta_exit_beta)
+        return (max(lo, 0.0), min(hi, HALF_PI))
+
+    # -- Eqs. 5-6 / Lemma 4: per-band direction bounds -------------------------
+
+    def band_direction_bounds(self, outer_radius: float,
+                              ) -> Tuple[float, float]:
+        """``(tau_l^{R_i}, tau_u^{R_i})`` for the band with ``outer_radius``.
+
+        Tighter than Lemma 2 because within the band the alpha/beta rays
+        cannot run past the band's outer arc.
+        """
+        if not self.inside_rect:
+            return (0.0, HALF_PI)
+        region_lo, region_hi = self.region_direction_bounds()
+        if outer_radius is INF:
+            return (region_lo, region_hi)
+
+        if self.q_theta <= self.alpha:
+            lo = self.q_theta
+        else:
+            hit = ray_circle_intersection(self.q, self.alpha, outer_radius)
+            if hit is not None and self._in_rect(hit):
+                lo = _anchor_angle(hit)
+                if lo is None:  # hit the origin itself
+                    lo = region_lo
+                lo = min(lo, self.q_theta)
+            else:
+                lo = region_lo
+
+        if self.q_theta >= self.beta:
+            hi = self.q_theta
+        else:
+            hit = ray_circle_intersection(self.q, self.beta, outer_radius)
+            if hit is not None and self._in_rect(hit):
+                hi = _anchor_angle(hit)
+                if hi is None:
+                    hi = region_hi
+                hi = max(hi, self.q_theta)
+            else:
+                hi = region_hi
+        return (max(lo, 0.0), min(hi, HALF_PI))
+
+    def _in_rect(self, p: Point) -> bool:
+        return (-1e-9 <= p.x <= self.length + 1e-9
+                and -1e-9 <= p.y <= self.height + 1e-9)
+
+    # -- distances to paper intersection points ---------------------------------
+
+    def dist_to_inner_arc_along(self, phi: float, inner: float,
+                                ) -> Optional[float]:
+        """Distance to ``q_phi^{r_inner}`` (Eq. 1 point), if it exists."""
+        hit = ray_circle_intersection(self.q, phi, inner)
+        if hit is None:
+            return None
+        return self.q.distance_to(hit)
+
+    def dist_to_boundary_ray_along(self, phi: float, boundary_theta: float,
+                                   ) -> Optional[float]:
+        """Distance to ``q_phi^{theta}`` (Eq. 2 point), if it exists."""
+        hit = ray_ray_intersection(self.q, phi, boundary_theta)
+        if hit is None:
+            return None
+        return self.q.distance_to(hit)
+
+
+def _anchor_angle(p: Optional[Point]) -> Optional[float]:
+    """Direction of ``p`` from the origin, ``None`` for the origin/missing."""
+    if p is None or (p.x == 0.0 and p.y == 0.0):
+        return None
+    return math.atan2(p.y, p.x)
+
+
+# -- Eq. 4: MINDIST(q, R_i) ------------------------------------------------------
+
+
+def band_mindist(geo: BasicQueryGeometry, inner: float,
+                 outer: float) -> float:
+    """The paper's Eq. 4: least distance from q to an answer in band R_i.
+
+    ``inf`` signals Lemma 1: a band wholly inside the query's radius cannot
+    contain answers (valid only for the canonical basic-query setting with
+    the query inside the rectangle).
+    """
+    if not geo.inside_rect:
+        return annulus_mindist(geo.qd, inner, outer)
+    if geo.qd >= outer:
+        return INF  # Lemma 1
+    if geo.qd >= inner:
+        return 0.0
+    # q is inside the inner arc.
+    if geo.alpha <= geo.q_theta <= geo.beta:
+        return inner - geo.qd
+    phi = geo.alpha if geo.q_theta < geo.alpha else geo.beta
+    d = geo.dist_to_inner_arc_along(phi, inner)
+    if d is None:
+        return inner - geo.qd  # fallback lower bound
+    return d
+
+
+# -- Table I: MINDIST(q, R_ij) --------------------------------------------------
+
+
+def subregion_mindist(geo: BasicQueryGeometry, inner: float, outer: float,
+                      theta_lo: float, theta_hi: float) -> float:
+    """The paper's Table I: least distance from q to an answer in R_ij.
+
+    ``inner``/``outer`` are the band radii, ``theta_lo``/``theta_hi`` the
+    sub-region's direction range (``theta_{ij-1}`` / ``theta_ij``).
+    """
+    fallback = annulus_mindist(geo.qd, inner, outer)
+    if not geo.inside_rect:
+        return fallback
+    if geo.qd >= outer:
+        return INF  # q in R_i^>, Lemma 1
+    value: Optional[float]
+    if geo.qd < inner:
+        value = _mindist_from_inside_inner(geo, inner, theta_lo, theta_hi)
+    else:
+        value = _mindist_from_within_band(geo, theta_lo, theta_hi)
+    if value is None:
+        return fallback
+    return max(value, fallback)
+
+
+def _mindist_from_inside_inner(geo: BasicQueryGeometry, inner: float,
+                               theta_lo: float, theta_hi: float,
+                               ) -> Optional[float]:
+    """Table I rows for ``q`` inside the inner arc (``R_i^<``)."""
+    if geo.q_theta < theta_lo:
+        # Row R_i^<[0, theta_{ij-1}): closest corner is the inner/low-angle
+        # one, the paper's "bottom-right" p_{i-1,j-1}.
+        corner = polar_point(inner, theta_lo)
+        return _corner_case(
+            geo, corner,
+            below=lambda: geo.dist_to_inner_arc_along(geo.alpha, inner),
+            above=lambda: geo.dist_to_boundary_ray_along(geo.beta, theta_lo))
+    if geo.q_theta < theta_hi:
+        # Row R_i^<[theta_{ij-1}, theta_ij): radially below the sub-region.
+        if geo.alpha <= geo.q_theta <= geo.beta:
+            return inner - geo.qd
+        phi = geo.alpha if geo.q_theta < geo.alpha else geo.beta
+        return geo.dist_to_inner_arc_along(phi, inner)
+    # Row R_i^<[theta_ij, pi/2]: closest corner is the inner/high-angle one,
+    # the paper's "bottom-left" p_{i-1,j}.
+    corner = polar_point(inner, theta_hi)
+    return _corner_case(
+        geo, corner,
+        below=lambda: geo.dist_to_boundary_ray_along(geo.alpha, theta_hi),
+        above=lambda: geo.dist_to_inner_arc_along(geo.beta, inner))
+
+
+def _mindist_from_within_band(geo: BasicQueryGeometry, theta_lo: float,
+                              theta_hi: float) -> Optional[float]:
+    """Table I rows for ``q`` inside the band's radius range (``R_i``)."""
+    if geo.q_theta < theta_lo:
+        # Row R_i[0, theta_{ij-1}): reach the low-angle boundary ray along
+        # the beta ray (beta <= pi/2 guarantees this is the nearest point).
+        return geo.dist_to_boundary_ray_along(geo.beta, theta_lo)
+    if geo.q_theta < theta_hi:
+        return 0.0  # q is inside R_ij
+    # Row R_i[theta_ij, pi/2]: reach the high-angle boundary ray along alpha.
+    return geo.dist_to_boundary_ray_along(geo.alpha, theta_hi)
+
+
+def _corner_case(geo: BasicQueryGeometry, corner: Point, below, above,
+                 ) -> Optional[float]:
+    """Shared corner logic of Table I rows 2 and 4.
+
+    When the corner's direction from q falls inside ``[alpha, beta]`` the
+    corner itself is nearest; when the sector aims below it (``< alpha``)
+    or above it (``> beta``) the nearest point slides along the matching
+    query ray, computed by the ``below``/``above`` thunks.
+    """
+    if corner == geo.q:
+        return 0.0
+    direction = geo.q.direction_to(corner)
+    # The corner can sit clockwise of the positive x-axis as seen from q
+    # (its direction wraps into (3*pi/2, 2*pi)); compared raw against
+    # alpha in [0, pi/2] that would masquerade as "above beta".  Signed
+    # representation puts it below alpha, where it belongs.
+    if direction > math.pi:
+        direction -= 2.0 * math.pi
+    if direction < geo.alpha:
+        return below()
+    if direction > geo.beta:
+        return above()
+    return geo.q.distance_to(corner)
+
+
+def basic_geometry(frame, world_point: Point,
+                   canonical_interval: DirectionInterval,
+                   ) -> BasicQueryGeometry:
+    """Build the cached geometry for a basic sub-query against ``frame``."""
+    return BasicQueryGeometry(
+        q=frame.to_canonical(world_point),
+        alpha=canonical_interval.lower,
+        beta=canonical_interval.upper,
+        length=frame.length,
+        height=frame.height,
+    )

@@ -1,0 +1,108 @@
+"""Saving and loading a built DESKS index.
+
+Building the index costs four global sorts over the whole collection;
+loading a saved one costs only linear passes.  An index directory is
+self-contained:
+
+    <dir>/meta.json        version, N, M, anchors, POI count
+    <dir>/pois.csv         the collection (library CSV format)
+    <dir>/anchor<i>.bin    one region-skeleton blob per anchor
+
+Keyword stores are *not* serialized: their layout is derived from
+``poi_order`` by a linear pass at load time (`build_term_layout` works on
+already-ordered positions), which measures faster than parsing an
+equivalent amount of posting bytes in Python and keeps the format simple.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from ..datasets import load_csv, save_csv
+from ..geometry import Anchor, CanonicalFrame
+from .index import AnchorIndex, DesksIndex
+from .regions import AnchorRegions
+from .stores import MemoryKeywordStore
+
+FORMAT_VERSION = 1
+
+
+def save_index(index: DesksIndex, directory: str) -> None:
+    """Persist ``index`` (memory-store variant) into ``directory``.
+
+    Disk-backed indexes already live in page files tied to their configured
+    paths; persisting those means copying the page files, which is the
+    caller's business — this helper refuses them to avoid a silent
+    half-save.
+    """
+    if index.disk_based:
+        raise ValueError(
+            "save_index() supports memory-store indexes; a disk-based "
+            "index already persists through its page files")
+    os.makedirs(directory, exist_ok=True)
+    meta = {
+        "version": FORMAT_VERSION,
+        "num_bands": index.num_bands,
+        "num_wedges": index.num_wedges,
+        "num_pois": len(index.collection),
+        "anchors": index.built_anchors(),
+    }
+    with open(os.path.join(directory, "meta.json"), "w",
+              encoding="utf-8") as handle:
+        json.dump(meta, handle, indent=2)
+    save_csv(index.collection, os.path.join(directory, "pois.csv"))
+    for quadrant in index.built_anchors():
+        blob = index.anchors[quadrant].regions.to_blob()
+        with open(os.path.join(directory, f"anchor{quadrant}.bin"),
+                  "wb") as handle:
+            handle.write(blob)
+
+
+def load_index(directory: str) -> DesksIndex:
+    """Load an index saved by :func:`save_index`."""
+    meta_path = os.path.join(directory, "meta.json")
+    try:
+        with open(meta_path, encoding="utf-8") as handle:
+            meta = json.load(handle)
+    except FileNotFoundError:
+        raise FileNotFoundError(
+            f"{directory} is not a saved DESKS index (no meta.json)"
+        ) from None
+    version = meta.get("version")
+    if version != FORMAT_VERSION:
+        raise ValueError(
+            f"saved index has format version {version!r}; this library "
+            f"reads version {FORMAT_VERSION}")
+    collection = load_csv(os.path.join(directory, "pois.csv"))
+    if len(collection) != meta["num_pois"]:
+        raise ValueError(
+            f"meta.json promises {meta['num_pois']} POIs but pois.csv "
+            f"holds {len(collection)}")
+
+    index = _skeleton_index(meta, collection)
+    term_ids = [collection.term_ids(i) for i in range(len(collection))]
+    for quadrant in meta["anchors"]:
+        path = os.path.join(directory, f"anchor{quadrant}.bin")
+        with open(path, "rb") as handle:
+            blob = handle.read()
+        frame = CanonicalFrame(Anchor(quadrant), collection.mbr)
+        regions = AnchorRegions.from_blob(
+            frame, [p.location for p in collection], blob)
+        store = MemoryKeywordStore(regions, term_ids)
+        index.anchors[quadrant] = AnchorIndex(frame, regions, store)
+    return index
+
+
+def _skeleton_index(meta: dict, collection) -> DesksIndex:
+    """A DesksIndex shell with no anchors built (they are loaded)."""
+    index = DesksIndex.__new__(DesksIndex)
+    index.collection = collection
+    index.num_bands = meta["num_bands"]
+    index.num_wedges = meta["num_wedges"]
+    index.disk_based = False
+    index.build_seconds = 0.0
+    index.anchors = [None] * 4
+    from ..storage import IOStats
+
+    index.io_stats = IOStats()
+    return index

@@ -1,0 +1,374 @@
+"""DESKS query processing — Algorithms 1 and 2 of the paper.
+
+One engine answers both the basic query (Algorithm 1, interval within one
+quadrant) and the general query (Algorithm 2): the interval is decomposed
+into per-quadrant basic sub-queries, and a single priority queue of
+``(MINDIST, band)`` entries — spanning all participating anchors — drives a
+best-first scan sharing one top-k collector, exactly as Algorithm 2's
+region queue ``Q_R`` does.
+
+The three pruning configurations evaluated in the paper's Section VI-B map
+onto two switches:
+
+========== ===================== =========================
+mode        region pruning         direction pruning
+            (Lemma 1 + Eq. 4)      (Lemmas 2-4 + Table I)
+========== ===================== =========================
+``R``       on                     off
+``D``       off                    on
+``RD``      on                     on
+========== ===================== =========================
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from bisect import bisect_left
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..storage import SearchStats
+from ..text import intersect_sorted, union_sorted
+from .index import AnchorIndex, DesksIndex
+from .mindist import (
+    BasicQueryGeometry,
+    band_mindist,
+    basic_geometry,
+    subregion_mindist,
+)
+from .query import DirectionalQuery, MatchMode, QueryResult, ResultEntry
+from .trace import BandTrace, QueryTrace
+from .regions import Band
+
+INF = math.inf
+
+
+class PruningMode(Enum):
+    """Which pruning techniques the search applies (paper Sec. VI-B)."""
+
+    R = "region"
+    D = "direction"
+    RD = "region+direction"
+
+    @property
+    def region(self) -> bool:
+        return self in (PruningMode.R, PruningMode.RD)
+
+    @property
+    def direction(self) -> bool:
+        return self in (PruningMode.D, PruningMode.RD)
+
+
+class _TopK:
+    """Bounded max-heap collecting the k nearest verified answers."""
+
+    def __init__(self, k: int,
+                 seed: Optional[Iterable[ResultEntry]] = None) -> None:
+        self.k = k
+        self._heap: List[Tuple[float, int]] = []  # (-distance, poi_id)
+        self._best: Dict[int, float] = {}
+        if seed is not None:
+            for entry in seed:
+                self.add(entry.poi_id, entry.distance)
+
+    @property
+    def kth_distance(self) -> float:
+        """Current pruning threshold ``d_k`` (``inf`` until k answers)."""
+        if len(self._heap) < self.k:
+            return INF
+        return -self._heap[0][0]
+
+    def add(self, poi_id: int, distance: float) -> None:
+        known = self._best.get(poi_id)
+        if known is not None:
+            return  # complex-query pieces can rediscover boundary POIs
+        if len(self._heap) < self.k:
+            heapq.heappush(self._heap, (-distance, poi_id))
+            self._best[poi_id] = distance
+        elif distance < -self._heap[0][0]:
+            _, evicted = heapq.heappushpop(self._heap, (-distance, poi_id))
+            del self._best[evicted]
+            self._best[poi_id] = distance
+
+    def entries(self) -> List[ResultEntry]:
+        return sorted(ResultEntry(pid, dist)
+                      for pid, dist in self._best.items())
+
+
+@dataclass
+class _Subquery:
+    """Per-anchor state of one basic sub-query."""
+
+    quadrant: int
+    anchor: AnchorIndex
+    geometry: BasicQueryGeometry
+    #: Sub-region gids containing *all* query keywords (sorted).
+    candidate_gids: List[int]
+    #: Per-keyword postings views for this anchor.
+    postings: List[object]
+    #: Direction bounds per band are cached (Eqs. 5-6 are pure in the band).
+    _bounds_cache: Dict[int, Tuple[float, float]] = field(
+        default_factory=dict)
+
+    def band_bounds(self, band: Band) -> Tuple[float, float]:
+        cached = self._bounds_cache.get(band.index)
+        if cached is None:
+            cached = self.geometry.band_direction_bounds(band.outer_radius)
+            self._bounds_cache[band.index] = cached
+        return cached
+
+
+class DesksSearcher:
+    """Answers direction-aware spatial keyword queries over a DesksIndex."""
+
+    def __init__(self, index: DesksIndex) -> None:
+        self.index = index
+        self._collection = index.collection
+
+    # -- public API -----------------------------------------------------------
+
+    def search(self, query: DirectionalQuery,
+               mode: PruningMode = PruningMode.RD,
+               stats: Optional[SearchStats] = None,
+               seed_entries: Optional[Iterable[ResultEntry]] = None,
+               trace: Optional[QueryTrace] = None) -> QueryResult:
+        """The k nearest POIs satisfying keyword and direction constraints.
+
+        ``seed_entries`` pre-populates the top-k collector — the incremental
+        algorithms of Section V pass cached answers here so ``d_k`` starts
+        tight.  ``trace`` (a :class:`~repro.core.trace.QueryTrace`) records
+        the search's decisions for inspection.
+        """
+        collector = _TopK(query.k, seed=seed_entries)
+        conjunctive = query.match_mode is MatchMode.ALL
+        term_ids = self._collection.query_term_ids(
+            query.keywords, require_all=conjunctive)
+        if term_ids is None:
+            if trace is not None:
+                trace.num_results = len(collector.entries())
+            return QueryResult(collector.entries())
+        subqueries = self._prepare_subqueries(query, term_ids)
+        self._run(query, subqueries, collector, mode, stats, trace)
+        result = QueryResult(collector.entries())
+        if trace is not None:
+            trace.num_results = len(result)
+        return result
+
+    def search_basic(self, query: DirectionalQuery,
+                     mode: PruningMode = PruningMode.RD,
+                     stats: Optional[SearchStats] = None) -> QueryResult:
+        """Algorithm 1: requires the interval to fit in one quadrant."""
+        pieces = query.basic_subqueries()
+        if len(pieces) != 1:
+            raise ValueError(
+                "search_basic() needs a single-quadrant interval; got "
+                f"{len(pieces)} pieces — use search() for complex queries")
+        return self.search(query, mode, stats)
+
+    # -- Algorithm 2 ------------------------------------------------------------
+
+    def _prepare_subqueries(self, query: DirectionalQuery,
+                            term_ids: Iterable[int]) -> List[_Subquery]:
+        conjunctive = query.match_mode is MatchMode.ALL
+        subqueries: List[_Subquery] = []
+        for quadrant, piece in query.basic_subqueries():
+            anchor = self.index.anchor_index(quadrant)
+            postings = []
+            for term_id in term_ids:
+                view = anchor.store.term_postings(term_id)
+                if view is None:
+                    if conjunctive:
+                        postings = None
+                        break
+                    continue  # ANY: a missing keyword just contributes nothing
+                postings.append(view)
+            if not postings:
+                continue
+            # The paper's L^R_K: sub-regions containing every keyword
+            # (ALL), or at least one keyword (ANY extension).
+            region_lists = [list(v.region_gids) for v in postings]
+            gids = (intersect_sorted(region_lists) if conjunctive
+                    else union_sorted(region_lists))
+            if not gids:
+                continue
+            geometry = basic_geometry(
+                anchor.frame, query.location,
+                anchor.frame.basic_interval(piece))
+            subqueries.append(_Subquery(quadrant, anchor, geometry,
+                                         gids, postings))
+        return subqueries
+
+    def _run(self, query: DirectionalQuery, subqueries: List[_Subquery],
+             collector: _TopK, mode: PruningMode,
+             stats: Optional[SearchStats],
+             trace: Optional[QueryTrace] = None) -> None:
+        heap: List[Tuple[float, int, int, _Subquery]] = []
+        seq = 0
+
+        def push_band(sub: _Subquery, band_idx: int) -> None:
+            nonlocal seq
+            bands = sub.anchor.regions.bands
+            if band_idx >= len(bands):
+                return
+            heapq.heappush(
+                heap,
+                (self._band_priority(sub, bands[band_idx], mode),
+                 seq, band_idx, sub))
+            seq += 1
+
+        for sub in subqueries:
+            start = self._initial_band(sub, mode)
+            if trace is not None:
+                trace.record_subquery(
+                    sub.quadrant, sub.geometry.alpha, sub.geometry.beta,
+                    start, len(sub.candidate_gids))
+            push_band(sub, start)
+
+        while heap:
+            priority, _, band_idx, sub = heapq.heappop(heap)
+            if priority is INF:
+                continue
+            if mode.region and priority >= collector.kth_distance:
+                # Lemma 1 / Eq. 4 termination: every remaining band is at
+                # least this far; no answer can improve the top-k.
+                if trace is not None:
+                    trace.record_termination(sub.quadrant, band_idx,
+                                             priority)
+                break
+            if stats is not None:
+                stats.regions_examined += 1
+            band = sub.anchor.regions.bands[band_idx]
+            band_trace = (trace.begin_band(sub.quadrant, band_idx, priority)
+                          if trace is not None else None)
+            self._scan_band(query, sub, band, collector, mode, stats,
+                            band_trace)
+            push_band(sub, band_idx + 1)
+
+    def _initial_band(self, sub: _Subquery, mode: PruningMode) -> int:
+        """Lemma 1: bands strictly inside the query's radius are skipped."""
+        if mode.region and sub.geometry.inside_rect:
+            return sub.anchor.regions.band_of_distance(sub.geometry.qd)
+        return 0
+
+    def _band_priority(self, sub: _Subquery, band: Band,
+                       mode: PruningMode) -> float:
+        """Queue key for a band: Eq. 4 under region pruning, else scan order.
+
+        Without region pruning the paper's DESKS+D examines bands in index
+        order with no distance-based skipping; encoding the band index as
+        the priority reproduces that while reusing the one queue.
+        """
+        if mode.region:
+            return band_mindist(sub.geometry, band.inner_radius,
+                                band.outer_radius)
+        return float(band.index)
+
+    # -- FindCandRegions + FindCandPOIs ------------------------------------------
+
+    def _scan_band(self, query: DirectionalQuery, sub: _Subquery, band: Band,
+                   collector: _TopK, mode: PruningMode,
+                   stats: Optional[SearchStats],
+                   band_trace: Optional[BandTrace] = None) -> None:
+        candidates = self._candidate_subregions(sub, band, collector, mode,
+                                                stats, band_trace)
+        scanned = 0
+        for mindist, subregion_gid in candidates:
+            if mode.direction and mindist >= collector.kth_distance:
+                break  # candidates are MINDIST-sorted (Alg. 1 line 9)
+            scanned += 1
+            self._scan_subregion(query, sub, subregion_gid, collector,
+                                 stats, band_trace)
+        if band_trace is not None:
+            band_trace.subregions_kept = scanned
+
+    def _candidate_subregions(self, sub: _Subquery, band: Band,
+                              collector: _TopK, mode: PruningMode,
+                              stats: Optional[SearchStats],
+                              band_trace: Optional[BandTrace] = None,
+                              ) -> List[Tuple[float, int]]:
+        """FINDCANDREGIONS: keyword-bearing sub-regions surviving pruning."""
+        regions = sub.anchor.regions
+        geo = sub.geometry
+        first_gid = band.first_gid
+        end_gid = first_gid + len(band.subregions)
+        if mode.direction:
+            tau_lo, tau_hi = sub.band_bounds(band)
+            lo_idx, hi_idx = regions.candidate_wedge_range(band, tau_lo,
+                                                           tau_hi)
+            gid_lo, gid_hi = first_gid + lo_idx, first_gid + hi_idx
+            if band_trace is not None:
+                band_trace.tau_bounds = (tau_lo, tau_hi)
+                band_trace.wedge_window = (lo_idx, hi_idx)
+        else:
+            gid_lo, gid_hi = first_gid, end_gid
+        selected = _slice_sorted(sub.candidate_gids, gid_lo, gid_hi)
+        out: List[Tuple[float, int]] = []
+        pruned = 0
+        for gid in selected:
+            if stats is not None:
+                stats.subregions_examined += 1
+            if mode.direction:
+                wedge = regions.subregions[gid]
+                mindist = subregion_mindist(
+                    geo, band.inner_radius, band.outer_radius,
+                    wedge.theta_lo, wedge.theta_hi)
+                if mindist >= collector.kth_distance:
+                    pruned += 1
+                    continue
+            else:
+                mindist = 0.0  # +R treats the band as one opaque region
+            out.append((mindist, gid))
+        if band_trace is not None:
+            band_trace.subregions_mindist_pruned = pruned
+        out.sort()
+        return out
+
+    def _scan_subregion(self, query: DirectionalQuery, sub: _Subquery,
+                        gid: int, collector: _TopK,
+                        stats: Optional[SearchStats],
+                        band_trace: Optional[BandTrace] = None) -> None:
+        """FINDCANDPOIS: combine POI lists, verify direction + distance."""
+        lists = [view.pois_in(gid) for view in sub.postings]
+        if query.match_mode is MatchMode.ALL:
+            lists.sort(key=len)
+            if not lists or not lists[0]:
+                return
+            survivors = set(lists[0])
+            for other in lists[1:]:
+                survivors.intersection_update(other)
+                if not survivors:
+                    return
+        else:
+            survivors = set()
+            for other in lists:
+                survivors.update(other)
+            if not survivors:
+                return
+        location = query.location
+        if band_trace is not None:
+            band_trace.pois_fetched += len(survivors)
+        for poi_id in survivors:
+            if stats is not None:
+                stats.pois_examined += 1
+                stats.distance_computations += 1
+            poi_location = self._collection.location(poi_id)
+            if poi_location != location:
+                theta = location.direction_to(poi_location)
+                if not query.interval.contains(theta):
+                    continue
+            if stats is not None:
+                stats.candidates_verified += 1
+            if band_trace is not None:
+                band_trace.pois_verified += 1
+            distance = location.distance_to(poi_location)
+            if distance < collector.kth_distance:
+                collector.add(poi_id, distance)
+
+
+def _slice_sorted(values: Sequence[int], lo: int, hi: int) -> Sequence[int]:
+    """Elements of sorted ``values`` in ``[lo, hi)``."""
+    start = bisect_left(values, lo)
+    end = bisect_left(values, hi, start)
+    return values[start:end]

@@ -1,0 +1,349 @@
+"""Keyword stores: the paper's region and POI inverted lists.
+
+For each keyword ``k`` and anchor, the index keeps (Section II-B):
+
+* the **region list** ``LR_k`` — sorted ids of sub-regions containing ``k``,
+  each with a *pointer*: the position in the POI list where that
+  sub-region's POIs begin;
+* the **POI list** ``LP_k`` — ids of POIs containing ``k``, sorted by
+  sub-region order and, within a sub-region, by direction.
+
+The pointers let a query read exactly the slice ``LP_k[l_ij, l_ij+1)`` for
+sub-region ``R_ij`` — the paper's key trick for cheap per-sub-region
+fetches.  Two implementations share the access protocol: an in-memory store
+("if we have large memory") and a disk-backed one ("if we have small
+memory") that lays both lists out in a paged record file, with POI ids at
+fixed width so a pointer slice maps to a byte range.
+"""
+
+from __future__ import annotations
+
+import struct
+from bisect import bisect_left
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..storage import (
+    InMemoryPageStore,
+    PageStore,
+    RecordFile,
+    RecordPointer,
+    decode_uint_list,
+    encode_sorted_ids,
+    decode_sorted_ids,
+    encode_uint_list,
+)
+from .regions import AnchorRegions
+
+
+class TermPostings:
+    """Access protocol for one keyword's region and POI lists."""
+
+    #: Sorted sub-region gids containing the keyword.
+    region_gids: Sequence[int]
+
+    def pois_in(self, gid: int) -> Sequence[int]:
+        """POI ids with this keyword inside sub-region ``gid``."""
+        raise NotImplementedError
+
+    def pois_in_gid_range(self, lo_gid: int, hi_gid: int) -> Sequence[int]:
+        """POI ids in all owned sub-regions with ``lo_gid <= gid < hi_gid``."""
+        raise NotImplementedError
+
+
+def build_term_layout(regions: AnchorRegions,
+                      poi_term_ids: Sequence[Iterable[int]],
+                      ) -> Dict[int, Tuple[List[int], List[int], List[int]]]:
+    """Compute, per term, ``(region_gids, pointers, poi_list)``.
+
+    ``poi_term_ids[poi_id]`` is the term-id set of each POI.  POI lists are
+    sorted by the anchor's ``poi_order`` position, which realises the
+    paper's sub-region-major, direction-minor ordering.
+    """
+    per_term_positions: Dict[int, List[int]] = {}
+    for position, poi_id in enumerate(regions.poi_order):
+        for term_id in poi_term_ids[poi_id]:
+            per_term_positions.setdefault(term_id, []).append(position)
+    # Positions were appended in increasing order, so each list is sorted.
+    # Resolving a position's sub-region through a precomputed array keeps
+    # the hot loop to plain list indexing.
+    gid_by_position: List[int] = [0] * len(regions.poi_order)
+    for sub in regions.subregions:
+        gid_by_position[sub.start:sub.end] = [sub.gid] * sub.size
+    poi_order = regions.poi_order
+    layout: Dict[int, Tuple[List[int], List[int], List[int]]] = {}
+    for term_id, positions in per_term_positions.items():
+        region_gids: List[int] = []
+        pointers: List[int] = []
+        poi_list = [poi_order[p] for p in positions]
+        last_gid = -1
+        for list_pos, position in enumerate(positions):
+            gid = gid_by_position[position]
+            if gid != last_gid:
+                region_gids.append(gid)
+                pointers.append(list_pos)
+                last_gid = gid
+        layout[term_id] = (region_gids, pointers, poi_list)
+    return layout
+
+
+# -- in-memory store ------------------------------------------------------------
+
+
+class _MemoryTermPostings(TermPostings):
+    def __init__(self, region_gids: List[int], pointers: List[int],
+                 poi_list: List[int]) -> None:
+        self.region_gids = region_gids
+        self._pointers = pointers
+        self._poi_list = poi_list
+
+    def _slice_bounds(self, idx: int) -> Tuple[int, int]:
+        start = self._pointers[idx]
+        end = (self._pointers[idx + 1] if idx + 1 < len(self._pointers)
+               else len(self._poi_list))
+        return start, end
+
+    def pois_in(self, gid: int) -> Sequence[int]:
+        idx = bisect_left(self.region_gids, gid)
+        if idx == len(self.region_gids) or self.region_gids[idx] != gid:
+            return []
+        start, end = self._slice_bounds(idx)
+        return self._poi_list[start:end]
+
+    def pois_in_gid_range(self, lo_gid: int, hi_gid: int) -> Sequence[int]:
+        lo = bisect_left(self.region_gids, lo_gid)
+        hi = bisect_left(self.region_gids, hi_gid)
+        if lo >= hi:
+            return []
+        start = self._pointers[lo]
+        end = (self._pointers[hi] if hi < len(self._pointers)
+               else len(self._poi_list))
+        return self._poi_list[start:end]
+
+
+class MemoryKeywordStore:
+    """All region/POI lists resident in Python memory."""
+
+    def __init__(self, regions: AnchorRegions,
+                 poi_term_ids: Sequence[Iterable[int]]) -> None:
+        layout = build_term_layout(regions, poi_term_ids)
+        self._terms: Dict[int, _MemoryTermPostings] = {
+            term_id: _MemoryTermPostings(*parts)
+            for term_id, parts in layout.items()
+        }
+
+    def term_postings(self, term_id: int) -> Optional[TermPostings]:
+        """The postings view for ``term_id``, or ``None`` when absent."""
+        return self._terms.get(term_id)
+
+    @property
+    def size_bytes(self) -> int:
+        """Approximate footprint: 4 bytes per stored integer."""
+        total = 0
+        for postings in self._terms.values():
+            total += 4 * (2 * len(postings.region_gids)
+                          + len(postings._poi_list))
+        return total
+
+
+# -- disk-backed store -------------------------------------------------------------
+
+
+class _DiskTermPostings(TermPostings):
+    """Postings view that reads POI slices from the record file.
+
+    The region list (gids + pointers) is decoded eagerly — the paper reads
+    ``LR_k`` up front too — while POI slices are fetched lazily by byte
+    range, touching only the pages the slice spans.
+    """
+
+    def __init__(self, record_file: RecordFile, region_record: RecordPointer,
+                 poi_record: RecordPointer) -> None:
+        self._file = record_file
+        self._poi_record = poi_record
+        blob = record_file.read(region_record)
+        gids, offset = decode_uint_list(blob)
+        pointers, _ = decode_uint_list(blob, offset)
+        self.region_gids = gids
+        self._pointers = pointers
+        self._num_pois = poi_record.length // 4
+
+    def _read_slice(self, start: int, end: int) -> Sequence[int]:
+        if start >= end:
+            return []
+        ptr = RecordPointer(self._poi_record.offset + 4 * start,
+                            4 * (end - start))
+        blob = self._file.read(ptr)
+        return list(struct.unpack(f"<{end - start}I", blob))
+
+    def _slice_bounds(self, idx: int) -> Tuple[int, int]:
+        start = self._pointers[idx]
+        end = (self._pointers[idx + 1] if idx + 1 < len(self._pointers)
+               else self._num_pois)
+        return start, end
+
+    def pois_in(self, gid: int) -> Sequence[int]:
+        idx = bisect_left(self.region_gids, gid)
+        if idx == len(self.region_gids) or self.region_gids[idx] != gid:
+            return []
+        return self._read_slice(*self._slice_bounds(idx))
+
+    def pois_in_gid_range(self, lo_gid: int, hi_gid: int) -> Sequence[int]:
+        lo = bisect_left(self.region_gids, lo_gid)
+        hi = bisect_left(self.region_gids, hi_gid)
+        if lo >= hi:
+            return []
+        start = self._pointers[lo]
+        end = (self._pointers[hi] if hi < len(self._pointers)
+               else self._num_pois)
+        return self._read_slice(start, end)
+
+
+class DiskKeywordStore:
+    """Region/POI lists in a paged record file behind a buffer pool.
+
+    The term directory (term id -> two record pointers) stays in memory,
+    mirroring the paper's in-memory vocabulary over disk-resident lists.
+    """
+
+    def __init__(self, regions: AnchorRegions,
+                 poi_term_ids: Sequence[Iterable[int]],
+                 store: Optional[PageStore] = None,
+                 buffer_capacity: int = 256) -> None:
+        if store is None:
+            store = InMemoryPageStore()
+        self._file = RecordFile(store, buffer_capacity=buffer_capacity)
+        self._directory: Dict[int, Tuple[RecordPointer, RecordPointer]] = {}
+        layout = build_term_layout(regions, poi_term_ids)
+        for term_id in sorted(layout):
+            region_gids, pointers, poi_list = layout[term_id]
+            region_blob = (encode_uint_list(region_gids)
+                           + encode_uint_list(pointers))
+            poi_blob = struct.pack(f"<{len(poi_list)}I", *poi_list)
+            region_ptr = self._file.append(region_blob)
+            poi_ptr = self._file.append(poi_blob)
+            self._directory[term_id] = (region_ptr, poi_ptr)
+        self._file.flush()
+
+    def term_postings(self, term_id: int) -> Optional[TermPostings]:
+        """The postings view for ``term_id``, or ``None`` when absent."""
+        pointers = self._directory.get(term_id)
+        if pointers is None:
+            return None
+        return _DiskTermPostings(self._file, *pointers)
+
+    @property
+    def io_stats(self):
+        """Page-level I/O counters of the backing record file."""
+        return self._file.stats
+
+    @property
+    def size_bytes(self) -> int:
+        """Bytes appended to the record file."""
+        return self._file.size_in_bytes
+
+    def drop_cache(self) -> None:
+        """Evict the buffer pool (cold-cache measurements)."""
+        self._file.drop_cache()
+
+    def close(self) -> None:
+        self._file.close()
+
+
+# -- compressed disk store (ablation) ---------------------------------------------
+
+
+class _CompressedTermPostings(TermPostings):
+    """Postings view over one delta-compressed record.
+
+    The whole term record — region gids, pointers and the *positions* of
+    the POIs in the anchor's ``poi_order`` (sorted, hence delta-friendly)
+    — is read and decoded on first access.  Any slice therefore costs the
+    full record's pages: this is what the pointer layout of the default
+    store is buying.
+    """
+
+    def __init__(self, record_file: RecordFile, record: RecordPointer,
+                 poi_order: Sequence[int]) -> None:
+        blob = record_file.read(record)
+        gids, offset = decode_uint_list(blob)
+        pointers, offset = decode_uint_list(blob, offset)
+        positions, _ = decode_sorted_ids(blob, offset)
+        self.region_gids = gids
+        self._pointers = pointers
+        self._positions = positions
+        self._poi_order = poi_order
+
+    def _slice(self, start: int, end: int) -> Sequence[int]:
+        return [self._poi_order[p] for p in self._positions[start:end]]
+
+    def pois_in(self, gid: int) -> Sequence[int]:
+        idx = bisect_left(self.region_gids, gid)
+        if idx == len(self.region_gids) or self.region_gids[idx] != gid:
+            return []
+        start = self._pointers[idx]
+        end = (self._pointers[idx + 1] if idx + 1 < len(self._pointers)
+               else len(self._positions))
+        return self._slice(start, end)
+
+    def pois_in_gid_range(self, lo_gid: int, hi_gid: int) -> Sequence[int]:
+        lo = bisect_left(self.region_gids, lo_gid)
+        hi = bisect_left(self.region_gids, hi_gid)
+        if lo >= hi:
+            return []
+        start = self._pointers[lo]
+        end = (self._pointers[hi] if hi < len(self._pointers)
+               else len(self._positions))
+        return self._slice(start, end)
+
+
+class CompressedDiskKeywordStore:
+    """Delta-varint POI lists: smallest on disk, no sliced reads.
+
+    The ablation counterpart of :class:`DiskKeywordStore` (DESIGN.md §4,
+    item 4): compression shrinks the index but every sub-region fetch
+    reads the keyword's entire posting record.
+    """
+
+    def __init__(self, regions: AnchorRegions,
+                 poi_term_ids: Sequence[Iterable[int]],
+                 store: Optional[PageStore] = None,
+                 buffer_capacity: int = 256) -> None:
+        if store is None:
+            store = InMemoryPageStore()
+        self._file = RecordFile(store, buffer_capacity=buffer_capacity)
+        self._poi_order = regions.poi_order
+        self._directory: Dict[int, RecordPointer] = {}
+        position_of = regions.position_of
+        layout = build_term_layout(regions, poi_term_ids)
+        for term_id in sorted(layout):
+            region_gids, pointers, poi_list = layout[term_id]
+            positions = [position_of[poi_id] for poi_id in poi_list]
+            blob = (encode_uint_list(region_gids)
+                    + encode_uint_list(pointers)
+                    + encode_sorted_ids(positions))
+            self._directory[term_id] = self._file.append(blob)
+        self._file.flush()
+
+    def term_postings(self, term_id: int) -> Optional[TermPostings]:
+        """The postings view for ``term_id``, or ``None`` when absent."""
+        record = self._directory.get(term_id)
+        if record is None:
+            return None
+        return _CompressedTermPostings(self._file, record, self._poi_order)
+
+    @property
+    def io_stats(self):
+        """Page-level I/O counters of the backing record file."""
+        return self._file.stats
+
+    @property
+    def size_bytes(self) -> int:
+        """Bytes appended to the record file."""
+        return self._file.size_in_bytes
+
+    def drop_cache(self) -> None:
+        """Evict the buffer pool (cold-cache measurements)."""
+        self._file.drop_cache()
+
+    def close(self) -> None:
+        self._file.close()

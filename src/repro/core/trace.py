@@ -1,0 +1,122 @@
+"""Query tracing — a structured ``EXPLAIN ANALYZE`` for DESKS searches.
+
+Pass a :class:`QueryTrace` to :meth:`DesksSearcher.search` (``trace=``)
+and it fills with the search's actual decisions: which basic sub-queries
+the interval decomposed into, every band popped from the region queue with
+its Eq. 4 priority, the per-band direction bounds and surviving candidate
+sub-regions, and the POI counts fetched/verified.  ``render()`` prints the
+whole story.
+
+Tracing exists for humans (debugging an unexpected answer, teaching the
+algorithm); it adds overhead, so benchmarks never pass one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+
+@dataclass
+class SubqueryTrace:
+    """One basic sub-query produced by quadrant decomposition."""
+
+    quadrant: int
+    interval_lower: float
+    interval_upper: float
+    start_band: int
+    candidate_subregions: int
+
+    def render(self) -> str:
+        return (f"  subquery quadrant={self.quadrant} canonical interval="
+                f"[{self.interval_lower:.4f}, {self.interval_upper:.4f}] "
+                f"start band={self.start_band} keyword sub-regions="
+                f"{self.candidate_subregions}")
+
+
+@dataclass
+class BandTrace:
+    """One band popped from Algorithm 2's region queue."""
+
+    quadrant: int
+    band_index: int
+    priority: float
+    action: str  # "scanned" | "terminated" | "exhausted-priority"
+    tau_bounds: Optional[Tuple[float, float]] = None
+    wedge_window: Optional[Tuple[int, int]] = None
+    subregions_kept: int = 0
+    subregions_mindist_pruned: int = 0
+    pois_fetched: int = 0
+    pois_verified: int = 0
+
+    def render(self) -> str:
+        parts = [f"  band q{self.quadrant}/R{self.band_index} "
+                 f"priority={self.priority:.4f} -> {self.action}"]
+        if self.action == "scanned":
+            if self.tau_bounds is not None:
+                parts.append(
+                    f"tau=[{self.tau_bounds[0]:.4f}, "
+                    f"{self.tau_bounds[1]:.4f}]")
+            if self.wedge_window is not None:
+                parts.append(
+                    f"wedges[{self.wedge_window[0]}:{self.wedge_window[1]}]")
+            parts.append(f"kept={self.subregions_kept}")
+            if self.subregions_mindist_pruned:
+                parts.append(
+                    f"mindist-pruned={self.subregions_mindist_pruned}")
+            parts.append(f"pois={self.pois_fetched}")
+            parts.append(f"verified={self.pois_verified}")
+        return " ".join(parts)
+
+
+@dataclass
+class QueryTrace:
+    """Full account of one search; fill via ``searcher.search(trace=...)``."""
+
+    subqueries: List[SubqueryTrace] = field(default_factory=list)
+    bands: List[BandTrace] = field(default_factory=list)
+    terminated_early: bool = False
+    num_results: int = 0
+
+    # -- recording hooks (called by DesksSearcher) ---------------------------
+
+    def record_subquery(self, quadrant: int, lower: float, upper: float,
+                        start_band: int, candidates: int) -> None:
+        self.subqueries.append(SubqueryTrace(
+            quadrant, lower, upper, start_band, candidates))
+
+    def begin_band(self, quadrant: int, band_index: int,
+                   priority: float) -> BandTrace:
+        band = BandTrace(quadrant, band_index, priority, "scanned")
+        self.bands.append(band)
+        return band
+
+    def record_termination(self, quadrant: int, band_index: int,
+                           priority: float) -> None:
+        self.bands.append(BandTrace(quadrant, band_index, priority,
+                                    "terminated"))
+        self.terminated_early = True
+
+    # -- reporting -------------------------------------------------------------
+
+    @property
+    def bands_scanned(self) -> int:
+        return sum(1 for b in self.bands if b.action == "scanned")
+
+    @property
+    def total_pois_fetched(self) -> int:
+        return sum(b.pois_fetched for b in self.bands)
+
+    def render(self) -> str:
+        """Human-readable, ``EXPLAIN ANALYZE``-style report."""
+        lines = [f"query trace: {len(self.subqueries)} basic sub-quer"
+                 f"{'y' if len(self.subqueries) == 1 else 'ies'}, "
+                 f"{self.bands_scanned} band(s) scanned, "
+                 f"{self.total_pois_fetched} POIs fetched, "
+                 f"{self.num_results} answer(s)"
+                 + (", early termination" if self.terminated_early else "")]
+        for sub in self.subqueries:
+            lines.append(sub.render())
+        for band in self.bands:
+            lines.append(band.render())
+        return "\n".join(lines)

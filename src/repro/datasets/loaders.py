@@ -1,0 +1,58 @@
+"""CSV persistence for POI datasets.
+
+Format: one POI per row, ``id,x,y,"kw1 kw2 ..."``.  Generated datasets can
+be saved once and reloaded across benchmark runs, and users can bring their
+own POI extracts in the same shape.
+"""
+
+from __future__ import annotations
+
+import csv
+from typing import List, Union
+
+from .poi import POI, POICollection
+
+_PathLike = Union[str, "os.PathLike[str]"]  # noqa: F821 - doc only
+
+
+def save_csv(collection: POICollection, path: _PathLike) -> None:
+    """Write ``collection`` to ``path`` in the library's CSV format."""
+    with open(path, "w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["id", "x", "y", "keywords"])
+        for poi in collection:
+            writer.writerow([
+                poi.poi_id,
+                repr(poi.location.x),
+                repr(poi.location.y),
+                " ".join(sorted(poi.keywords)),
+            ])
+
+
+def load_csv(path: _PathLike) -> POICollection:
+    """Read a POI collection from the library's CSV format.
+
+    Ids are re-densified on load (the collection addresses POIs by
+    position); the ``id`` column is informational.
+    """
+    pois: List[POI] = []
+    with open(path, newline="", encoding="utf-8") as handle:
+        reader = csv.reader(handle)
+        header = next(reader, None)
+        if header != ["id", "x", "y", "keywords"]:
+            raise ValueError(
+                f"unrecognised POI CSV header {header!r} in {path}")
+        for line_no, row in enumerate(reader, start=2):
+            if len(row) != 4:
+                raise ValueError(
+                    f"malformed POI row at {path}:{line_no}: {row!r}")
+            _, x, y, keywords = row
+            try:
+                pois.append(POI.make(len(pois), float(x), float(y),
+                                     keywords.split()))
+            except ValueError as exc:
+                raise ValueError(
+                    f"bad coordinates at {path}:{line_no}: {exc}") from exc
+    if not pois:
+        raise ValueError(f"no POIs found in {path}")
+    return POICollection(pois)

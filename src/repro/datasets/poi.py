@@ -1,0 +1,113 @@
+"""POI model and the collection type every index consumes.
+
+A POI is the paper's ``p = <(p.x, p.y); p.d>``: a location plus a keyword
+set.  :class:`POICollection` interns keywords through a shared
+:class:`~repro.text.Vocabulary`, precomputes each POI's term-id set, and
+exposes the dataset MBR — the three things every index build needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Iterable, Iterator, List, Optional, Sequence
+
+from ..geometry import MBR, Point
+from ..text import Vocabulary
+
+
+@dataclass(frozen=True)
+class POI:
+    """A point of interest: id, location, keyword set."""
+
+    poi_id: int
+    location: Point
+    keywords: FrozenSet[str]
+
+    @classmethod
+    def make(cls, poi_id: int, x: float, y: float,
+             keywords: Iterable[str]) -> "POI":
+        """Convenience constructor from raw coordinates."""
+        return cls(poi_id, Point(x, y), frozenset(keywords))
+
+    def contains_all(self, keywords: Iterable[str]) -> bool:
+        """True when this POI's description contains every given keyword."""
+        return set(keywords) <= self.keywords
+
+
+class POICollection:
+    """An immutable, id-addressed set of POIs with interned keywords.
+
+    POI ids are their positions in the collection (dense 0..n-1); loaders
+    renumber on ingest so downstream index structures can use plain lists.
+    """
+
+    def __init__(self, pois: Sequence[POI]) -> None:
+        if not pois:
+            raise ValueError("a POI collection needs at least one POI")
+        self._pois: List[POI] = []
+        self.vocabulary = Vocabulary()
+        self._term_ids: List[FrozenSet[int]] = []
+        for position, poi in enumerate(pois):
+            renumbered = POI(position, poi.location, poi.keywords)
+            self._pois.append(renumbered)
+            self._term_ids.append(self.vocabulary.add_document(poi.keywords))
+        self.mbr = MBR.from_points(p.location for p in self._pois)
+
+    # -- access -----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._pois)
+
+    def __iter__(self) -> Iterator[POI]:
+        return iter(self._pois)
+
+    def __getitem__(self, poi_id: int) -> POI:
+        return self._pois[poi_id]
+
+    def location(self, poi_id: int) -> Point:
+        """Location of the POI with the given id."""
+        return self._pois[poi_id].location
+
+    def term_ids(self, poi_id: int) -> FrozenSet[int]:
+        """Interned keyword ids of the POI with the given id."""
+        return self._term_ids[poi_id]
+
+    def query_term_ids(self, keywords: Iterable[str],
+                       require_all: bool = True,
+                       ) -> Optional[FrozenSet[int]]:
+        """Term ids of query keywords.
+
+        With ``require_all`` (conjunctive queries) any unknown keyword
+        means no POI can match, so ``None`` is returned.  Without it
+        (disjunctive queries) unknown keywords are simply dropped and
+        ``None`` means *every* keyword was unknown.
+        """
+        if require_all:
+            return self.vocabulary.ids_of(keywords)
+        ids = {self.vocabulary.id_of(k) for k in keywords}
+        ids.discard(None)
+        return frozenset(ids) if ids else None
+
+    def subset(self, size: int) -> "POICollection":
+        """The first ``size`` POIs as a new collection (scalability runs)."""
+        if not 1 <= size <= len(self):
+            raise ValueError(
+                f"subset size {size} outside [1, {len(self)}]")
+        return POICollection(self._pois[:size])
+
+    # -- statistics ----------------------------------------------------------
+
+    @property
+    def total_term_occurrences(self) -> int:
+        """Sum over POIs of their distinct keyword counts (Table II row 2)."""
+        return sum(len(t) for t in self._term_ids)
+
+    @property
+    def num_unique_terms(self) -> int:
+        """Distinct keywords across the collection (Table II row 3)."""
+        return len(self.vocabulary)
+
+    @property
+    def avg_terms_per_poi(self) -> float:
+        """Average distinct keywords per POI (Table II row 4)."""
+        return self.total_term_occurrences / len(self)

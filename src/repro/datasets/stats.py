@@ -1,0 +1,49 @@
+"""Dataset statistics in the shape of the paper's Table II."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from .poi import POICollection
+
+
+@dataclass(frozen=True)
+class DatasetStats:
+    """The four rows of Table II for one dataset."""
+
+    name: str
+    num_pois: int
+    total_terms: int
+    num_unique_terms: int
+    avg_terms_per_poi: float
+
+
+def dataset_statistics(name: str, collection: POICollection) -> DatasetStats:
+    """Compute Table II statistics for ``collection``."""
+    return DatasetStats(
+        name=name,
+        num_pois=len(collection),
+        total_terms=collection.total_term_occurrences,
+        num_unique_terms=collection.num_unique_terms,
+        avg_terms_per_poi=collection.avg_terms_per_poi,
+    )
+
+
+def format_table2(stats: Sequence[DatasetStats]) -> str:
+    """Render a Table II-style summary for several datasets."""
+    header = f"{'statistic':<38}" + "".join(f"{s.name:>12}" for s in stats)
+    rows = [
+        ("Total number of POIs",
+         [f"{s.num_pois:,}" for s in stats]),
+        ("Total number of terms",
+         [f"{s.total_terms:,}" for s in stats]),
+        ("Total number of unique terms",
+         [f"{s.num_unique_terms:,}" for s in stats]),
+        ("Average number of unique terms per POI",
+         [f"{s.avg_terms_per_poi:.2f}" for s in stats]),
+    ]
+    lines = [header, "-" * len(header)]
+    for label, cells in rows:
+        lines.append(f"{label:<38}" + "".join(f"{c:>12}" for c in cells))
+    return "\n".join(lines)

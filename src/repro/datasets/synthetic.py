@@ -1,0 +1,199 @@
+"""Synthetic POI datasets calibrated to the paper's Table II.
+
+The paper evaluates on real POI extracts — California (CA), Virginia (VA)
+and China (CN) — that are not redistributable.  These generators produce
+laptop-scale synthetic stand-ins preserving the properties the algorithms
+are sensitive to:
+
+* **spatial clustering** — real POIs bunch into cities along corridors; we
+  draw from a mixture of Gaussian clusters over a uniform background;
+* **keyword skew** — term frequencies follow a Zipf law, so a handful of
+  terms ("restaurant", "food") appear everywhere while most are rare;
+* **terms/POI ratio** — Table II's per-dataset averages are matched.
+
+POI counts are scaled down (default 1/100) because this is pure Python; all
+competitor methods shrink together, so cross-method ratios — the quantities
+EXPERIMENTS.md reproduces — are preserved.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from .poi import POI, POICollection
+
+#: A few human-readable category terms mixed into every dataset so the
+#: examples read naturally ("find chinese food to the north-east").
+CATEGORY_TERMS = (
+    "restaurant", "food", "chinese", "italian", "mexican", "pizza", "sushi",
+    "cafe", "coffee", "bar", "bakery", "gas", "station", "fuel", "parking",
+    "hotel", "motel", "hostel", "atm", "bank", "pharmacy", "hospital",
+    "clinic", "school", "library", "museum", "park", "cinema", "theater",
+    "supermarket", "grocery", "mall", "shop", "bookstore", "gym", "salon",
+)
+
+
+@dataclass(frozen=True)
+class SyntheticConfig:
+    """Parameters of one synthetic dataset."""
+
+    name: str
+    num_pois: int
+    num_unique_terms: int
+    avg_terms_per_poi: float
+    num_clusters: int = 40
+    cluster_fraction: float = 0.8
+    zipf_exponent: float = 1.1
+    extent: float = 10_000.0
+    seed: int = 7
+
+    def __post_init__(self) -> None:
+        if self.num_pois <= 0:
+            raise ValueError("num_pois must be positive")
+        if self.num_unique_terms < len(CATEGORY_TERMS):
+            raise ValueError(
+                f"num_unique_terms must be at least {len(CATEGORY_TERMS)}")
+        if not 0.0 <= self.cluster_fraction <= 1.0:
+            raise ValueError("cluster_fraction must be in [0, 1]")
+        if self.avg_terms_per_poi < 1.0:
+            raise ValueError("avg_terms_per_poi must be at least 1")
+
+
+def generate(config: SyntheticConfig) -> POICollection:
+    """Generate a :class:`POICollection` from ``config`` (deterministic)."""
+    rng = np.random.default_rng(config.seed)
+    xs, ys = _spatial_sample(config, rng)
+    term_table = _term_table(config)
+    keyword_sets = _keyword_sample(config, rng, term_table)
+    pois = [
+        POI.make(i, float(xs[i]), float(ys[i]), keyword_sets[i])
+        for i in range(config.num_pois)
+    ]
+    return POICollection(pois)
+
+
+def _spatial_sample(config: SyntheticConfig, rng: np.random.Generator):
+    """Cluster-mixture locations inside ``[0, extent]^2``."""
+    n = config.num_pois
+    n_clustered = int(n * config.cluster_fraction)
+    n_uniform = n - n_clustered
+    extent = config.extent
+
+    centers = rng.uniform(0.05 * extent, 0.95 * extent,
+                          size=(config.num_clusters, 2))
+    # Mix of tight city cores and sprawling suburbs.
+    spreads = rng.uniform(0.005 * extent, 0.04 * extent,
+                          size=config.num_clusters)
+    # Larger clusters are more likely, like real city-size distributions.
+    weights = rng.zipf(1.5, size=config.num_clusters).astype(float)
+    weights /= weights.sum()
+    assignment = rng.choice(config.num_clusters, size=n_clustered, p=weights)
+    clustered = (centers[assignment]
+                 + rng.normal(0.0, 1.0, size=(n_clustered, 2))
+                 * spreads[assignment, None])
+    uniform = rng.uniform(0.0, extent, size=(n_uniform, 2))
+    pts = np.vstack([clustered, uniform])
+    np.clip(pts, 0.0, extent, out=pts)
+    order = rng.permutation(n)
+    pts = pts[order]
+    return pts[:, 0], pts[:, 1]
+
+
+def _term_table(config: SyntheticConfig) -> List[str]:
+    """Term strings: human categories first, then synthetic fillers.
+
+    Zipf sampling draws low ranks most often, so the category terms double
+    as the dataset's most frequent keywords.
+    """
+    fillers = [f"term{i:06d}"
+               for i in range(config.num_unique_terms - len(CATEGORY_TERMS))]
+    return list(CATEGORY_TERMS) + fillers
+
+
+def _keyword_sample(config: SyntheticConfig, rng: np.random.Generator,
+                    term_table: List[str]) -> List[frozenset]:
+    """Zipf-skewed keyword sets with the configured mean size."""
+    n = config.num_pois
+    vocab_size = len(term_table)
+    # Keyword-set sizes: 1 + Poisson(mean - 1) keeps every POI non-empty.
+    sizes = 1 + rng.poisson(config.avg_terms_per_poi - 1.0, size=n)
+    # Draw ranks from a truncated Zipf; oversample to survive dedup.
+    total = int(sizes.sum() * 1.5) + 16
+    ranks = rng.zipf(config.zipf_exponent, size=total)
+    ranks = ranks[ranks <= vocab_size] - 1
+    keyword_sets: List[frozenset] = []
+    cursor = 0
+    for size in sizes:
+        chosen: set = set()
+        while len(chosen) < size:
+            if cursor >= len(ranks):
+                extra = rng.zipf(config.zipf_exponent, size=total)
+                extra = extra[extra <= vocab_size] - 1
+                ranks = np.concatenate([ranks, extra])
+            chosen.add(int(ranks[cursor]))
+            cursor += 1
+        keyword_sets.append(frozenset(term_table[r] for r in chosen))
+    return keyword_sets
+
+
+# -- Table II presets ---------------------------------------------------------
+#
+# Paper statistics:        CA          VA          CN
+#   POIs (millions)        0.91        0.96        16.5
+#   terms (millions)       9.7         4.6         63.6
+#   unique terms (k)       35          26          753
+#   avg terms/POI          8.57        4.5         3.85
+#
+# ``scale`` divides the POI count; unique-term counts scale with the square
+# root (Heaps' law) so document frequencies stay realistic.
+
+
+def _preset(name: str, pois_millions: float, unique_thousands: float,
+            avg_terms: float, clusters: int, scale: float,
+            seed: int) -> SyntheticConfig:
+    num_pois = max(int(pois_millions * 1e6 / scale), 100)
+    unique = max(int(unique_thousands * 1e3 / scale ** 0.5),
+                 len(CATEGORY_TERMS) + 10)
+    return SyntheticConfig(
+        name=name,
+        num_pois=num_pois,
+        num_unique_terms=unique,
+        avg_terms_per_poi=avg_terms,
+        num_clusters=clusters,
+        seed=seed,
+    )
+
+
+def california_like(scale: float = 100.0, seed: int = 11) -> SyntheticConfig:
+    """CA-like preset: ~0.91M POIs / ``scale``, rich 8.6-term descriptions."""
+    return _preset("CA", 0.91, 35.0, 8.57, clusters=60, scale=scale,
+                   seed=seed)
+
+
+def virginia_like(scale: float = 100.0, seed: int = 13) -> SyntheticConfig:
+    """VA-like preset: ~0.96M POIs / ``scale``, 4.5 terms per POI."""
+    return _preset("VA", 0.96, 26.0, 4.5, clusters=40, scale=scale, seed=seed)
+
+
+def china_like(scale: float = 100.0, seed: int = 17) -> SyntheticConfig:
+    """CN-like preset: ~16.5M POIs / ``scale``, huge sparse vocabulary."""
+    return _preset("CN", 16.5, 753.0, 3.85, clusters=200, scale=scale,
+                   seed=seed)
+
+
+def load_preset(name: str, scale: float = 100.0,
+                seed: Optional[int] = None) -> POICollection:
+    """Generate one of the named presets ("CA", "VA", "CN")."""
+    factories = {"CA": california_like, "VA": virginia_like,
+                 "CN": china_like}
+    try:
+        factory = factories[name.upper()]
+    except KeyError:
+        raise ValueError(
+            f"unknown preset {name!r}; expected one of {sorted(factories)}"
+        ) from None
+    config = factory(scale) if seed is None else factory(scale, seed)
+    return generate(config)

@@ -1,0 +1,50 @@
+"""Geometric substrate: points, angles, rectangles, sectors, ray math.
+
+Everything DESKS and the baselines need from plane geometry lives here, in
+one place, so the pruning code reads like the paper's formulas.
+"""
+
+from .angles import (
+    ANGLE_EPS,
+    HALF_PI,
+    TWO_PI,
+    DirectionInterval,
+    angle_between,
+    angle_of,
+    interval_from_optional,
+    normalize_angle,
+    quadrant_of,
+)
+from .frames import Anchor, CanonicalFrame, frames_for
+from .intersections import (
+    ray_circle_intersection,
+    ray_ray_intersection,
+    ray_rectangle_exit,
+)
+from .mbr import MBR
+from .point import ORIGIN, Point
+from .sector import Sector, direction_overlaps_mbr, subtended_interval
+
+__all__ = [
+    "ANGLE_EPS",
+    "HALF_PI",
+    "TWO_PI",
+    "Anchor",
+    "CanonicalFrame",
+    "DirectionInterval",
+    "MBR",
+    "ORIGIN",
+    "Point",
+    "Sector",
+    "direction_overlaps_mbr",
+    "subtended_interval",
+    "angle_between",
+    "angle_of",
+    "frames_for",
+    "interval_from_optional",
+    "normalize_angle",
+    "quadrant_of",
+    "ray_circle_intersection",
+    "ray_ray_intersection",
+    "ray_rectangle_exit",
+]

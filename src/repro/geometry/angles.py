@@ -1,0 +1,282 @@
+"""Angle arithmetic on the circle ``[0, 2*pi)``.
+
+Every direction in this library is a plain ``float`` in radians, measured
+counter-clockwise from the positive x-axis, exactly as in the paper.  A
+*direction interval* ``[alpha, beta]`` is represented by
+:class:`DirectionInterval`, which normalises ``alpha`` into ``[0, 2*pi)`` and
+allows ``beta`` up to ``alpha + 2*pi`` so that intervals crossing the positive
+x-axis (e.g. *north-west through north-east*) are first-class values.
+
+The paper decomposes an arbitrary interval into at most four *basic* queries,
+one per quadrant (five if the raw interval wraps past ``2*pi``); that
+decomposition lives in :meth:`DirectionInterval.decompose_quadrants`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Tuple
+
+TWO_PI = 2.0 * math.pi
+HALF_PI = 0.5 * math.pi
+
+#: Tolerance used for angle comparisons throughout the library.  Directions
+#: are derived from ``atan2`` on coordinates, so errors are a few ULPs; 1e-12
+#: is comfortably above that while far below any meaningful angular width.
+ANGLE_EPS = 1e-12
+
+
+def normalize_angle(theta: float) -> float:
+    """Map ``theta`` (radians, any magnitude) into ``[0, 2*pi)``.
+
+    >>> normalize_angle(-math.pi / 2) == 1.5 * math.pi
+    True
+    """
+    theta = math.fmod(theta, TWO_PI)
+    if theta < 0.0:
+        theta += TWO_PI
+    # fmod of a value infinitesimally below a multiple of 2*pi can round to
+    # exactly TWO_PI after the correction above; fold it back to 0.
+    if theta >= TWO_PI:
+        theta -= TWO_PI
+    return theta
+
+
+def angle_of(dx: float, dy: float) -> float:
+    """Direction of the vector ``(dx, dy)`` as an angle in ``[0, 2*pi)``.
+
+    This is the paper's ``arctan(dy/dx)`` generalised to all quadrants.
+    The zero vector has no direction; ``ValueError`` is raised for it.
+    """
+    if dx == 0.0 and dy == 0.0:
+        raise ValueError("the zero vector has no direction")
+    return normalize_angle(math.atan2(dy, dx))
+
+
+def angle_between(theta: float, lower: float, upper: float) -> bool:
+    """Return True if ``theta`` lies on the CCW arc from ``lower`` to ``upper``.
+
+    All three angles may be arbitrary floats; ``upper`` is interpreted as lying
+    at most one full turn CCW from ``lower``.
+    """
+    span = upper - lower
+    if span >= TWO_PI - ANGLE_EPS:
+        return True
+    offset = normalize_angle(theta - lower)
+    return offset <= span + ANGLE_EPS
+
+
+def quadrant_of(theta: float) -> int:
+    """Index in ``{0, 1, 2, 3}`` of the quadrant containing ``theta``.
+
+    Quadrant ``i`` is the half-open arc ``[i*pi/2, (i+1)*pi/2)``.
+    """
+    theta = normalize_angle(theta)
+    q = int(theta / HALF_PI)
+    return min(q, 3)
+
+
+@dataclass(frozen=True)
+class DirectionInterval:
+    """A closed direction interval ``[lower, upper]`` on the circle.
+
+    ``lower`` is normalised to ``[0, 2*pi)``; ``upper`` satisfies
+    ``lower <= upper <= lower + 2*pi``.  An interval of width ``2*pi`` covers
+    every direction (the paper's unconstrained query).
+    """
+
+    lower: float
+    upper: float
+
+    def __post_init__(self) -> None:
+        lo = normalize_angle(self.lower)
+        width = self.upper - self.lower
+        if width < 0.0:
+            raise ValueError(
+                f"interval upper bound {self.upper!r} precedes lower bound "
+                f"{self.lower!r}"
+            )
+        if width > TWO_PI + ANGLE_EPS:
+            raise ValueError(
+                f"interval [{self.lower!r}, {self.upper!r}] is wider than a "
+                "full turn"
+            )
+        width = min(width, TWO_PI)
+        object.__setattr__(self, "lower", lo)
+        object.__setattr__(self, "upper", lo + width)
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def full(cls) -> "DirectionInterval":
+        """The unconstrained interval covering all directions."""
+        return cls(0.0, TWO_PI)
+
+    @classmethod
+    def centered(cls, center: float, width: float) -> "DirectionInterval":
+        """Interval of ``width`` radians centred on ``center``."""
+        if width < 0.0 or width > TWO_PI:
+            raise ValueError(f"width {width!r} outside [0, 2*pi]")
+        return cls(center - width / 2.0, center + width / 2.0)
+
+    # -- basic queries -----------------------------------------------------
+
+    @property
+    def width(self) -> float:
+        """Angular width in radians, in ``[0, 2*pi]``."""
+        return self.upper - self.lower
+
+    @property
+    def is_full(self) -> bool:
+        """True when every direction is inside the interval."""
+        return self.width >= TWO_PI - ANGLE_EPS
+
+    def contains(self, theta: float) -> bool:
+        """True when direction ``theta`` lies inside the interval."""
+        return angle_between(theta, self.lower, self.upper)
+
+    def midpoint(self) -> float:
+        """Direction at the middle of the interval, normalised."""
+        return normalize_angle(self.lower + self.width / 2.0)
+
+    # -- interval algebra ---------------------------------------------------
+
+    def widen(self, by_lower: float, by_upper: float) -> "DirectionInterval":
+        """Grow the interval by ``by_lower`` CW and ``by_upper`` CCW."""
+        if by_lower < 0.0 or by_upper < 0.0:
+            raise ValueError("widen() takes non-negative extensions")
+        width = min(self.width + by_lower + by_upper, TWO_PI)
+        return DirectionInterval(self.lower - by_lower,
+                                 self.lower - by_lower + width)
+
+    def rotate(self, delta: float) -> "DirectionInterval":
+        """Rotate the whole interval by ``delta`` radians CCW."""
+        return DirectionInterval(self.lower + delta, self.upper + delta)
+
+    def intersect(self, other: "DirectionInterval") -> List["DirectionInterval"]:
+        """Intersection with ``other`` as a list of disjoint intervals.
+
+        Two arcs on a circle can overlap in zero, one or two pieces (two when
+        both are wide and their complements are disjoint).
+        """
+        if self.is_full:
+            return [other]
+        if other.is_full:
+            return [self]
+        pieces: List[DirectionInterval] = []
+        # Work on the universal cover: other occupies [b, b + w) possibly
+        # shifted by 2*pi either way relative to self's [a, a + v).
+        a, v = self.lower, self.width
+        b, w = other.lower, other.width
+        for shift in (-TWO_PI, 0.0, TWO_PI):
+            lo = max(a, b + shift)
+            hi = min(a + v, b + shift + w)
+            if hi - lo > ANGLE_EPS:
+                pieces.append(DirectionInterval(lo, hi))
+        return pieces
+
+    def overlaps(self, other: "DirectionInterval") -> bool:
+        """True when the two intervals share at least one direction."""
+        if self.is_full or other.is_full:
+            return True
+        offset = normalize_angle(other.lower - self.lower)
+        if offset <= self.width + ANGLE_EPS:
+            return True
+        back = normalize_angle(self.lower - other.lower)
+        return back <= other.width + ANGLE_EPS
+
+    # -- quadrant decomposition (paper Sec. IV-B) ----------------------------
+
+    def decompose_quadrants(self) -> List[Tuple[int, "DirectionInterval"]]:
+        """Split into per-quadrant pieces, the paper's basic sub-queries.
+
+        Returns ``(quadrant, piece)`` pairs where each ``piece`` lies entirely
+        inside quadrant ``[q*pi/2, (q+1)*pi/2]``.  At most four pieces are
+        produced for a non-full interval (five raw pieces merge to four
+        because a wrap-around re-enters a quadrant already covered; we merge
+        duplicates per quadrant since the union is what the search visits).
+        """
+        if self.is_full:
+            return [
+                (q, DirectionInterval(q * HALF_PI, (q + 1) * HALF_PI))
+                for q in range(4)
+            ]
+        if self.width <= ANGLE_EPS:
+            # A degenerate (single-ray) interval still needs one piece, or a
+            # zero-width query would vanish in decomposition.
+            return [(quadrant_of(self.lower), self)]
+        pieces: List[Tuple[int, DirectionInterval]] = []
+        end = self.upper  # lower <= end <= lower + 2*pi on the cover
+        cursor = self.lower
+        while cursor < end - ANGLE_EPS:
+            # Snap a cursor sitting within epsilon of a quadrant boundary
+            # onto it, so the piece is attributed to the quadrant it is
+            # (numerically) about to enter rather than the one it left.
+            boundary = round(cursor / HALF_PI) * HALF_PI
+            if abs(cursor - boundary) < ANGLE_EPS:
+                cursor = boundary
+            q = quadrant_of(cursor)
+            offset = normalize_angle(cursor) - q * HALF_PI
+            piece_end = min(end, cursor + (HALF_PI - max(offset, 0.0)))
+            if piece_end - cursor > ANGLE_EPS:
+                pieces.append((q, DirectionInterval(cursor, piece_end)))
+            cursor = piece_end
+        return _merge_quadrant_pieces(pieces)
+
+    # -- dunder -------------------------------------------------------------
+
+    def __iter__(self) -> Iterator[float]:
+        yield self.lower
+        yield self.upper
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"DirectionInterval({self.lower:.6f}, {self.upper:.6f})"
+
+
+def _merge_quadrant_pieces(
+    pieces: List[Tuple[int, DirectionInterval]],
+) -> List[Tuple[int, DirectionInterval]]:
+    """Merge decomposition pieces that landed in the same quadrant.
+
+    A wrapping interval can enter the same quadrant twice (head and tail).
+    The merged piece is the smallest interval inside the quadrant covering
+    both; searching a slightly larger arc is sound (extra candidates are
+    re-verified against the exact query interval) and keeps the per-quadrant
+    machinery simple.
+    """
+    by_quadrant: dict = {}
+    order: List[int] = []
+    for q, piece in pieces:
+        if q not in by_quadrant:
+            by_quadrant[q] = piece
+            order.append(q)
+        else:
+            prev = by_quadrant[q]
+            q_lo, q_hi = q * HALF_PI, (q + 1) * HALF_PI
+            lo = min(_cover_in(prev.lower, q_lo), _cover_in(piece.lower, q_lo))
+            hi = max(_cover_in(prev.upper, q_lo, upper=True),
+                     _cover_in(piece.upper, q_lo, upper=True))
+            by_quadrant[q] = DirectionInterval(max(lo, q_lo), min(hi, q_hi))
+    return [(q, by_quadrant[q]) for q in order]
+
+
+def _cover_in(theta: float, base: float, upper: bool = False) -> float:
+    """Lift ``theta`` onto the cover segment ``[base, base + pi/2]``."""
+    t = normalize_angle(theta)
+    b = normalize_angle(base)
+    off = t - b
+    if off < -ANGLE_EPS:
+        off += TWO_PI
+    if upper and off < ANGLE_EPS:
+        off = HALF_PI  # an upper endpoint at the boundary belongs at the top
+    return base + off
+
+
+def interval_from_optional(
+    alpha: Optional[float], beta: Optional[float]
+) -> DirectionInterval:
+    """Build an interval from possibly-missing bounds (None => full circle)."""
+    if alpha is None or beta is None:
+        return DirectionInterval.full()
+    return DirectionInterval(alpha, beta)

@@ -1,0 +1,183 @@
+"""Canonical-frame transforms for the four MBR anchor corners.
+
+The paper builds one band/sub-region structure per corner of the dataset MBR
+(``O_bl``, ``O_br``, ``O_tr``, ``O_tl``) and answers a *basic* query — one
+whose direction interval fits inside a single quadrant — against the matching
+corner.  All of the pruning mathematics (Lemmas 1-4, Eq. 4, Table I) is
+stated for ``O_bl`` with directions in ``[0, pi/2]``.
+
+Rather than re-deriving the formulas per corner, we map every corner onto the
+``O_bl`` situation with an isometry of the plane:
+
+====== ============================== =============================
+anchor point map (canonical coords)    direction map
+====== ============================== =============================
+BL     ``(x - minx, y - miny)``        ``theta``
+BR     ``(maxx - x, y - miny)``        ``pi - theta``   (x-reflection)
+TR     ``(maxx - x, maxy - y)``        ``theta - pi``   (rotation)
+TL     ``(x - minx, maxy - y)``        ``-theta``       (y-reflection)
+====== ============================== =============================
+
+Reflections reverse orientation, so direction *intervals* map with their
+endpoints swapped.  All maps are isometries: distances — hence band radii and
+MINDIST values — carry over unchanged.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from enum import Enum
+from typing import Tuple
+
+from .angles import HALF_PI, TWO_PI, DirectionInterval, normalize_angle
+from .mbr import MBR
+from .point import Point
+
+
+class Anchor(Enum):
+    """The four corners of the dataset MBR, named as in the paper."""
+
+    BOTTOM_LEFT = 0
+    BOTTOM_RIGHT = 1
+    TOP_RIGHT = 2
+    TOP_LEFT = 3
+
+    @classmethod
+    def for_quadrant(cls, quadrant: int) -> "Anchor":
+        """Anchor whose canonical frame serves directions in ``quadrant``.
+
+        Quadrant ``i`` is ``[i*pi/2, (i+1)*pi/2]``; the paper assigns BL to
+        the first quadrant, BR to the second, TR to the third, TL to the
+        fourth (its Figures 10-12).
+        """
+        if quadrant not in (0, 1, 2, 3):
+            raise ValueError(f"quadrant must be 0..3, got {quadrant!r}")
+        return cls(quadrant)
+
+
+@dataclass(frozen=True)
+class CanonicalFrame:
+    """Isometry taking one anchor corner onto the canonical BL situation.
+
+    In canonical coordinates the anchor is the origin and the dataset
+    rectangle is ``[0, length] x [0, height]``; every direction relevant to a
+    basic query lies in ``[0, pi/2]``.
+    """
+
+    anchor: Anchor
+    mbr: MBR
+
+    @property
+    def length(self) -> float:
+        """Canonical rectangle horizontal extent (the paper's ``L``)."""
+        return self.mbr.width
+
+    @property
+    def height(self) -> float:
+        """Canonical rectangle vertical extent (the paper's ``H``)."""
+        return self.mbr.height
+
+    @property
+    def anchor_point(self) -> Point:
+        """The anchor corner in *world* coordinates."""
+        return self.mbr.corners()[self.anchor.value]
+
+    # -- point maps ----------------------------------------------------------
+
+    def to_canonical(self, p: Point) -> Point:
+        """World point -> canonical coordinates."""
+        if self.anchor is Anchor.BOTTOM_LEFT:
+            return Point(p.x - self.mbr.min_x, p.y - self.mbr.min_y)
+        if self.anchor is Anchor.BOTTOM_RIGHT:
+            return Point(self.mbr.max_x - p.x, p.y - self.mbr.min_y)
+        if self.anchor is Anchor.TOP_RIGHT:
+            return Point(self.mbr.max_x - p.x, self.mbr.max_y - p.y)
+        return Point(p.x - self.mbr.min_x, self.mbr.max_y - p.y)
+
+    def to_canonical_xy(self, xs, ys):
+        """Vectorised :meth:`to_canonical` over coordinate arrays.
+
+        Accepts and returns numpy arrays (or anything supporting
+        element-wise arithmetic); used by the index build, where per-point
+        Python calls would dominate construction time.
+        """
+        if self.anchor is Anchor.BOTTOM_LEFT:
+            return xs - self.mbr.min_x, ys - self.mbr.min_y
+        if self.anchor is Anchor.BOTTOM_RIGHT:
+            return self.mbr.max_x - xs, ys - self.mbr.min_y
+        if self.anchor is Anchor.TOP_RIGHT:
+            return self.mbr.max_x - xs, self.mbr.max_y - ys
+        return xs - self.mbr.min_x, self.mbr.max_y - ys
+
+    def from_canonical(self, p: Point) -> Point:
+        """Canonical point -> world coordinates (inverse of the above)."""
+        if self.anchor is Anchor.BOTTOM_LEFT:
+            return Point(p.x + self.mbr.min_x, p.y + self.mbr.min_y)
+        if self.anchor is Anchor.BOTTOM_RIGHT:
+            return Point(self.mbr.max_x - p.x, p.y + self.mbr.min_y)
+        if self.anchor is Anchor.TOP_RIGHT:
+            return Point(self.mbr.max_x - p.x, self.mbr.max_y - p.y)
+        return Point(p.x + self.mbr.min_x, self.mbr.max_y - p.y)
+
+    # -- direction maps ---------------------------------------------------------
+
+    def direction_to_canonical(self, theta: float) -> float:
+        """World direction -> canonical direction."""
+        if self.anchor is Anchor.BOTTOM_LEFT:
+            return normalize_angle(theta)
+        if self.anchor is Anchor.BOTTOM_RIGHT:
+            return normalize_angle(math.pi - theta)
+        if self.anchor is Anchor.TOP_RIGHT:
+            return normalize_angle(theta - math.pi)
+        return normalize_angle(-theta)
+
+    def direction_from_canonical(self, theta: float) -> float:
+        """Canonical direction -> world direction.
+
+        Every one of the four maps is an involution up to normalisation, so
+        the inverse is the map itself.
+        """
+        return self.direction_to_canonical(theta)
+
+    def interval_to_canonical(
+        self, interval: DirectionInterval
+    ) -> DirectionInterval:
+        """World direction interval -> canonical interval.
+
+        Reflections (BR, TL) reverse orientation, so the mapped endpoints
+        swap roles; the rotation (TR) and identity (BL) keep them in order.
+        """
+        if interval.is_full:
+            return DirectionInterval.full()
+        lo = self.direction_to_canonical(interval.lower)
+        hi = self.direction_to_canonical(interval.upper)
+        if self.anchor in (Anchor.BOTTOM_RIGHT, Anchor.TOP_LEFT):
+            lo, hi = hi, lo
+        if hi < lo:
+            hi += TWO_PI
+        # Guard: the width must be preserved by an isometry; re-anchor the
+        # upper endpoint exactly to avoid drift from double normalisation.
+        return DirectionInterval(lo, lo + interval.width)
+
+    # -- convenience -----------------------------------------------------------
+
+    def basic_interval(
+        self, interval: DirectionInterval
+    ) -> DirectionInterval:
+        """Map a basic query's interval into ``[0, pi/2]`` of this frame.
+
+        The caller guarantees the world interval lies inside this anchor's
+        quadrant; the result is clamped onto ``[0, pi/2]`` to absorb
+        floating-point spill at the quadrant boundaries.
+        """
+        mapped = self.interval_to_canonical(interval)
+        lo = min(max(mapped.lower, 0.0), HALF_PI)
+        hi = min(max(mapped.upper, lo), HALF_PI)
+        return DirectionInterval(lo, hi)
+
+
+def frames_for(mbr: MBR) -> Tuple[CanonicalFrame, CanonicalFrame,
+                                  CanonicalFrame, CanonicalFrame]:
+    """The four canonical frames of a dataset MBR, indexed by quadrant."""
+    return tuple(CanonicalFrame(Anchor(i), mbr) for i in range(4))

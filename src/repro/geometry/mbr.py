@@ -1,0 +1,191 @@
+"""Minimum bounding rectangles.
+
+Used in two roles:
+
+* the dataset-wide MBR ``R`` whose four corners anchor the DESKS index
+  (``O_bl``, ``O_br``, ``O_tr``, ``O_tl`` in the paper), and
+* node rectangles inside the from-scratch R-tree used by the baselines.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence, Tuple
+
+from .point import Point
+
+
+@dataclass(frozen=True)
+class MBR:
+    """An axis-aligned rectangle ``[min_x, max_x] x [min_y, max_y]``."""
+
+    min_x: float
+    min_y: float
+    max_x: float
+    max_y: float
+
+    def __post_init__(self) -> None:
+        if self.min_x > self.max_x or self.min_y > self.max_y:
+            raise ValueError(
+                f"degenerate MBR bounds ({self.min_x}, {self.min_y}, "
+                f"{self.max_x}, {self.max_y})"
+            )
+
+    # -- constructors -------------------------------------------------------
+
+    @classmethod
+    def from_points(cls, points: Iterable[Point]) -> "MBR":
+        """Smallest MBR containing all ``points`` (at least one required)."""
+        it = iter(points)
+        try:
+            first = next(it)
+        except StopIteration:
+            raise ValueError("cannot build an MBR from zero points") from None
+        min_x = max_x = first.x
+        min_y = max_y = first.y
+        for p in it:
+            if p.x < min_x:
+                min_x = p.x
+            elif p.x > max_x:
+                max_x = p.x
+            if p.y < min_y:
+                min_y = p.y
+            elif p.y > max_y:
+                max_y = p.y
+        return cls(min_x, min_y, max_x, max_y)
+
+    @classmethod
+    def of_point(cls, p: Point) -> "MBR":
+        """A zero-area MBR at a single point."""
+        return cls(p.x, p.y, p.x, p.y)
+
+    # -- corners (paper notation) --------------------------------------------
+
+    @property
+    def bottom_left(self) -> Point:
+        """The paper's ``O_bl``."""
+        return Point(self.min_x, self.min_y)
+
+    @property
+    def bottom_right(self) -> Point:
+        """The paper's ``O_br``."""
+        return Point(self.max_x, self.min_y)
+
+    @property
+    def top_right(self) -> Point:
+        """The paper's ``O_tr``."""
+        return Point(self.max_x, self.max_y)
+
+    @property
+    def top_left(self) -> Point:
+        """The paper's ``O_tl``."""
+        return Point(self.min_x, self.max_y)
+
+    def corners(self) -> Tuple[Point, Point, Point, Point]:
+        """All four corners in ``(bl, br, tr, tl)`` order."""
+        return (self.bottom_left, self.bottom_right,
+                self.top_right, self.top_left)
+
+    # -- extents -------------------------------------------------------------
+
+    @property
+    def width(self) -> float:
+        """Horizontal extent (the paper's ``L``)."""
+        return self.max_x - self.min_x
+
+    @property
+    def height(self) -> float:
+        """Vertical extent (the paper's ``H``)."""
+        return self.max_y - self.min_y
+
+    @property
+    def diagonal(self) -> float:
+        """Length of the diagonal — the maximal in-rectangle distance."""
+        return math.hypot(self.width, self.height)
+
+    def area(self) -> float:
+        """Rectangle area (R-tree split heuristic input)."""
+        return self.width * self.height
+
+    def margin(self) -> float:
+        """Half-perimeter (R*-style split heuristic input)."""
+        return self.width + self.height
+
+    def center(self) -> Point:
+        """The rectangle's centroid."""
+        return Point((self.min_x + self.max_x) / 2.0,
+                     (self.min_y + self.max_y) / 2.0)
+
+    # -- predicates ----------------------------------------------------------
+
+    def contains_point(self, p: Point) -> bool:
+        """True when ``p`` lies inside or on the boundary."""
+        return (self.min_x <= p.x <= self.max_x
+                and self.min_y <= p.y <= self.max_y)
+
+    def contains_mbr(self, other: "MBR") -> bool:
+        """True when ``other`` lies entirely inside ``self``."""
+        return (self.min_x <= other.min_x and other.max_x <= self.max_x
+                and self.min_y <= other.min_y and other.max_y <= self.max_y)
+
+    def intersects(self, other: "MBR") -> bool:
+        """True when the two rectangles share at least a boundary point."""
+        return not (other.min_x > self.max_x or other.max_x < self.min_x
+                    or other.min_y > self.max_y or other.max_y < self.min_y)
+
+    # -- combination ----------------------------------------------------------
+
+    def union(self, other: "MBR") -> "MBR":
+        """Smallest MBR covering both rectangles."""
+        return MBR(min(self.min_x, other.min_x), min(self.min_y, other.min_y),
+                   max(self.max_x, other.max_x), max(self.max_y, other.max_y))
+
+    def extend_to_point(self, p: Point) -> "MBR":
+        """Smallest MBR covering ``self`` and ``p``."""
+        return MBR(min(self.min_x, p.x), min(self.min_y, p.y),
+                   max(self.max_x, p.x), max(self.max_y, p.y))
+
+    @staticmethod
+    def union_all(mbrs: Sequence["MBR"]) -> "MBR":
+        """Union of a non-empty sequence of MBRs."""
+        if not mbrs:
+            raise ValueError("cannot union zero MBRs")
+        out = mbrs[0]
+        for m in mbrs[1:]:
+            out = out.union(m)
+        return out
+
+    def enlargement(self, other: "MBR") -> float:
+        """Area growth if ``self`` were extended to also cover ``other``.
+
+        The classic Guttman insertion heuristic.
+        """
+        return self.union(other).area() - self.area()
+
+    # -- distances -------------------------------------------------------------
+
+    def min_distance_to_point(self, p: Point) -> float:
+        """The classic ``MINDIST(q, mbr)`` of Roussopoulos et al. [10, 18].
+
+        Zero when ``p`` is inside the rectangle.
+        """
+        dx = max(self.min_x - p.x, 0.0, p.x - self.max_x)
+        dy = max(self.min_y - p.y, 0.0, p.y - self.max_y)
+        return math.hypot(dx, dy)
+
+    def max_distance_to_point(self, p: Point) -> float:
+        """Distance from ``p`` to the farthest point of the rectangle."""
+        dx = max(p.x - self.min_x, self.max_x - p.x)
+        dy = max(p.y - self.min_y, self.max_y - p.y)
+        return math.hypot(dx, dy)
+
+    def __iter__(self) -> Iterator[float]:
+        yield self.min_x
+        yield self.min_y
+        yield self.max_x
+        yield self.max_y
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"MBR({self.min_x:g}, {self.min_y:g}, "
+                f"{self.max_x:g}, {self.max_y:g})")

@@ -1,0 +1,58 @@
+"""Planar points and the distance/direction primitives the paper relies on."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterator, Tuple
+
+from .angles import angle_of
+
+
+@dataclass(frozen=True)
+class Point:
+    """An immutable point in the plane.
+
+    The paper measures two quantities from a point: Euclidean distance
+    (``dist`` in the paper) and direction (``theta``, via ``arctan``); both
+    are methods here so all call sites share one implementation.
+    """
+
+    x: float
+    y: float
+
+    def distance_to(self, other: "Point") -> float:
+        """Euclidean distance to ``other`` (the paper's ``dist(p, q)``)."""
+        return math.hypot(other.x - self.x, other.y - self.y)
+
+    def squared_distance_to(self, other: "Point") -> float:
+        """Squared Euclidean distance; cheaper when only comparing."""
+        dx = other.x - self.x
+        dy = other.y - self.y
+        return dx * dx + dy * dy
+
+    def direction_to(self, other: "Point") -> float:
+        """Direction of ``other`` as seen from ``self``, in ``[0, 2*pi)``.
+
+        This is the paper's ``theta(q, p)``.  Raises ``ValueError`` when the
+        two points coincide (no direction is defined).
+        """
+        return angle_of(other.x - self.x, other.y - self.y)
+
+    def translate(self, dx: float, dy: float) -> "Point":
+        """A new point shifted by ``(dx, dy)``."""
+        return Point(self.x + dx, self.y + dy)
+
+    def as_tuple(self) -> Tuple[float, float]:
+        """The point as a plain ``(x, y)`` tuple."""
+        return (self.x, self.y)
+
+    def __iter__(self) -> Iterator[float]:
+        yield self.x
+        yield self.y
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Point({self.x:g}, {self.y:g})"
+
+
+ORIGIN = Point(0.0, 0.0)

@@ -1,0 +1,101 @@
+"""Circular sectors — the paper's search region ``S_q``.
+
+Given a query ``q`` with direction interval ``[alpha, beta]``, the answer
+region is the intersection of the sector centred at ``q`` (radius = maximal
+distance from ``q`` to the dataset MBR boundary) with the dataset MBR.  The
+sector type below provides the membership test used for verification and by
+the brute-force oracle in the tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from .angles import TWO_PI, DirectionInterval, normalize_angle
+from .mbr import MBR
+from .point import Point
+
+
+@dataclass(frozen=True)
+class Sector:
+    """A circular sector: centre, radius, and a direction interval."""
+
+    center: Point
+    radius: float
+    interval: DirectionInterval
+
+    def __post_init__(self) -> None:
+        if self.radius < 0.0:
+            raise ValueError(f"negative sector radius {self.radius!r}")
+
+    def contains(self, p: Point) -> bool:
+        """True when ``p`` lies inside the sector.
+
+        The centre itself is considered inside (it has no direction but zero
+        distance; the paper's queries never return the query point because
+        POIs at distance 0 in the query direction are a measure-zero corner,
+        and including the centre keeps the membership test total).
+        """
+        if p == self.center:
+            return True
+        if self.center.distance_to(p) > self.radius:
+            return False
+        return self.interval.contains(self.center.direction_to(p))
+
+    @classmethod
+    def covering_mbr(cls, center: Point, interval: DirectionInterval,
+                     mbr: MBR) -> "Sector":
+        """The paper's ``S_q``: radius = max distance from centre to ``R``.
+
+        With this radius the sector's intersection with ``mbr`` equals the
+        full direction-constrained search region ``R_q``.
+        """
+        return cls(center, mbr.max_distance_to_point(center), interval)
+
+    def search_region_contains(self, p: Point, mbr: MBR) -> bool:
+        """Membership in ``R_q`` = sector intersected with the dataset MBR."""
+        return mbr.contains_point(p) and self.contains(p)
+
+
+def subtended_interval(center: Point, mbr: MBR,
+                       ) -> Optional[DirectionInterval]:
+    """The direction interval an MBR subtends as seen from ``center``.
+
+    ``None`` means every direction (``center`` inside or on the rectangle).
+    For a convex shape and an external viewpoint the subtended direction set
+    is exactly the minimal arc covering the corner directions — found as the
+    complement of the largest angular gap between consecutive corners.
+    """
+    if mbr.contains_point(center):
+        return None
+    angles: List[float] = sorted(
+        normalize_angle(center.direction_to(corner))
+        for corner in mbr.corners())
+    largest_gap = TWO_PI - (angles[-1] - angles[0])
+    gap_end = 0  # index of the angle *after* the largest gap
+    for i in range(1, len(angles)):
+        gap = angles[i] - angles[i - 1]
+        if gap > largest_gap:
+            largest_gap = gap
+            gap_end = i
+    lower = angles[gap_end]
+    width = TWO_PI - largest_gap
+    return DirectionInterval(lower, lower + width)
+
+
+def direction_overlaps_mbr(center: Point, interval: DirectionInterval,
+                           mbr: MBR) -> bool:
+    """True unless the MBR lies entirely outside the query direction.
+
+    This is the "examine whether each accessed MBR is in the search
+    direction" check the paper adds to the baselines (Sec. VI): exact for
+    rectangles, because the subtended direction set from an external point
+    is a single arc.
+    """
+    if interval.is_full:
+        return True
+    subtended = subtended_interval(center, mbr)
+    if subtended is None:
+        return True
+    return interval.overlaps(subtended)

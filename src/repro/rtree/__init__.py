@@ -1,0 +1,18 @@
+"""From-scratch R-tree: STR bulk load, Guttman insert, best-first kNN."""
+
+from .knn import incremental_nearest, knn
+from .node import Entry, Neighbor, Node, child_entry, format_tree, leaf_entry
+from .rtree import DEFAULT_FANOUT, RTree
+
+__all__ = [
+    "DEFAULT_FANOUT",
+    "Entry",
+    "Neighbor",
+    "Node",
+    "RTree",
+    "child_entry",
+    "format_tree",
+    "incremental_nearest",
+    "knn",
+    "leaf_entry",
+]

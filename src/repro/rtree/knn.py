@@ -1,0 +1,98 @@
+"""Best-first nearest-neighbour search over an R-tree.
+
+This is the distance-browsing algorithm of Hjaltason & Samet [10]: a single
+priority queue holds both nodes (keyed by ``MINDIST`` to the query) and
+objects (keyed by exact distance); popping an object yields it as the next
+nearest.  The incremental form is exactly what the paper's filter-and-verify
+baseline needs — it keeps drawing candidates in distance order until ``k``
+of them survive the keyword and direction checks.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, Iterator, List, Optional, Tuple
+
+from ..geometry import Point
+from ..storage import SearchStats
+from .node import Neighbor, Node
+from .rtree import RTree
+
+#: Optional filter applied to internal/leaf nodes during descent; returning
+#: False prunes the whole subtree.  Baselines hook textual pruning in here.
+NodeFilter = Callable[[Node], bool]
+
+#: Optional filter applied to object entries; returning False skips the
+#: object before it is ever scored.
+ObjectFilter = Callable[[int], bool]
+
+
+def incremental_nearest(
+    tree: RTree,
+    query: Point,
+    node_filter: Optional[NodeFilter] = None,
+    object_filter: Optional[ObjectFilter] = None,
+    stats: Optional[SearchStats] = None,
+) -> Iterator[Neighbor]:
+    """Yield objects in non-decreasing distance from ``query``.
+
+    ``node_filter``/``object_filter`` prune subtrees/objects (textual
+    pruning in the baselines); ``stats`` accumulates node/POI counters.
+    """
+    if len(tree) == 0:
+        return
+    counter = 0  # heap tiebreak: FIFO among equal distances
+    heap: List[Tuple[float, int, object]] = []
+
+    def push_node(node: Node) -> None:
+        nonlocal counter
+        heapq.heappush(heap, (node.mbr().min_distance_to_point(query),
+                              counter, node))
+        counter += 1
+
+    push_node(tree.root)
+    while heap:
+        distance, _, item = heapq.heappop(heap)
+        if isinstance(item, Neighbor):
+            yield item
+            continue
+        node: Node = item
+        if stats is not None:
+            stats.nodes_examined += 1
+        if node_filter is not None and not node_filter(node):
+            continue
+        for entry in node.entries:
+            if node.is_leaf:
+                object_id = entry.child
+                if object_filter is not None and not object_filter(object_id):
+                    continue
+                if stats is not None:
+                    stats.pois_examined += 1
+                    stats.distance_computations += 1
+                exact = entry.mbr.min_distance_to_point(query)
+                heapq.heappush(
+                    heap, (exact, counter, Neighbor(object_id, exact)))
+            else:
+                child = entry.child
+                if node_filter is not None and not node_filter(child):
+                    continue
+                heapq.heappush(
+                    heap,
+                    (entry.mbr.min_distance_to_point(query), counter, child))
+            counter += 1
+
+
+def knn(tree: RTree, query: Point, k: int,
+        node_filter: Optional[NodeFilter] = None,
+        object_filter: Optional[ObjectFilter] = None,
+        stats: Optional[SearchStats] = None) -> List[Neighbor]:
+    """The ``k`` nearest objects passing the filters, nearest first."""
+    if k <= 0:
+        raise ValueError(f"k must be positive, got {k}")
+    out: List[Neighbor] = []
+    for neighbor in incremental_nearest(tree, query, node_filter,
+                                        object_filter, stats):
+        out.append(neighbor)
+        if len(out) == k:
+            break
+    return out

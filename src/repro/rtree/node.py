@@ -1,0 +1,84 @@
+"""R-tree nodes and entries.
+
+The structure follows Guttman's original design: internal nodes hold
+``(mbr, child-node)`` entries, leaves hold ``(mbr, object-id)`` entries.
+Nodes carry a stable ``node_id`` so the keyword-augmented baselines
+(MIR2-tree signatures, IR-tree inverted files) can attach per-node textual
+summaries in side tables without subclassing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Union
+
+from ..geometry import MBR, Point
+
+
+@dataclass
+class Entry:
+    """One slot in a node: a rectangle plus either a child node or an id."""
+
+    mbr: MBR
+    child: Union["Node", int]
+
+    @property
+    def is_leaf_entry(self) -> bool:
+        return not isinstance(self.child, Node)
+
+
+@dataclass
+class Node:
+    """An R-tree node; ``is_leaf`` governs what entries hold."""
+
+    node_id: int
+    is_leaf: bool
+    entries: List[Entry] = field(default_factory=list)
+
+    def mbr(self) -> MBR:
+        """Tight bounding rectangle of all entries."""
+        if not self.entries:
+            raise ValueError(f"node {self.node_id} has no entries")
+        return MBR.union_all([e.mbr for e in self.entries])
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+
+def leaf_entry(point: Point, object_id: int) -> Entry:
+    """A leaf entry for a point object."""
+    return Entry(MBR.of_point(point), object_id)
+
+
+def child_entry(node: Node) -> Entry:
+    """An internal entry wrapping ``node`` with its tight MBR."""
+    return Entry(node.mbr(), node)
+
+
+@dataclass(frozen=True)
+class Neighbor:
+    """One kNN result: object id and its distance to the query."""
+
+    object_id: int
+    distance: float
+
+    def __lt__(self, other: "Neighbor") -> bool:
+        return (self.distance, self.object_id) < (other.distance,
+                                                  other.object_id)
+
+
+def format_tree(node: Node, depth: int = 0,
+                max_depth: Optional[int] = None) -> str:
+    """Readable dump of a subtree, for debugging and doc examples."""
+    pad = "  " * depth
+    kind = "leaf" if node.is_leaf else "node"
+    lines = [f"{pad}{kind}#{node.node_id} [{len(node.entries)} entries] "
+             f"{node.mbr()}"]
+    if max_depth is not None and depth >= max_depth:
+        return "\n".join(lines)
+    for entry in node.entries:
+        if entry.is_leaf_entry:
+            lines.append(f"{pad}  obj#{entry.child} @ {entry.mbr}")
+        else:
+            lines.append(format_tree(entry.child, depth + 1, max_depth))
+    return "\n".join(lines)

@@ -1,0 +1,37 @@
+"""Simulated-disk substrate: pages, buffer pool, records, I/O accounting."""
+
+from .buffer import BufferPool
+from .pages import PAGE_SIZE, FilePageStore, InMemoryPageStore, PageStore
+from .recordfile import RecordFile, RecordPointer
+from .serializer import (
+    decode_floats,
+    decode_sorted_ids,
+    decode_uint_list,
+    decode_varint,
+    encode_floats,
+    encode_sorted_ids,
+    encode_uint_list,
+    encode_varint,
+)
+from .stats import IOSnapshot, IOStats, SearchStats
+
+__all__ = [
+    "PAGE_SIZE",
+    "BufferPool",
+    "FilePageStore",
+    "IOSnapshot",
+    "IOStats",
+    "InMemoryPageStore",
+    "PageStore",
+    "RecordFile",
+    "RecordPointer",
+    "SearchStats",
+    "decode_floats",
+    "decode_sorted_ids",
+    "decode_uint_list",
+    "decode_varint",
+    "encode_floats",
+    "encode_sorted_ids",
+    "encode_uint_list",
+    "encode_varint",
+]

@@ -1,0 +1,110 @@
+"""An LRU buffer pool over a :class:`~repro.storage.pages.PageStore`.
+
+The pool serves reads from cache when possible (counting a cache hit instead
+of a physical read) and writes back dirty pages on eviction and on
+:meth:`BufferPool.flush`.  It is deliberately simple — single-threaded, no
+pinning — because the reproduction's workloads are single-query-at-a-time,
+like the paper's.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from .pages import PageStore
+
+
+class BufferPool:
+    """Fixed-capacity LRU page cache with write-back semantics."""
+
+    def __init__(self, store: PageStore, capacity: int = 128) -> None:
+        if capacity <= 0:
+            raise ValueError(f"buffer capacity must be positive: {capacity}")
+        self._store = store
+        self.capacity = capacity
+        # page_id -> (data, dirty); ordered by recency, most recent last.
+        self._frames: "OrderedDict[int, list]" = OrderedDict()
+
+    # -- metrics ------------------------------------------------------------
+
+    @property
+    def stats(self):
+        """The underlying store's I/O stats (hits are recorded there too)."""
+        return self._store.stats
+
+    @property
+    def num_cached(self) -> int:
+        """Number of pages currently resident."""
+        return len(self._frames)
+
+    @property
+    def page_size(self) -> int:
+        return self._store.page_size
+
+    @property
+    def num_pages(self) -> int:
+        return self._store.num_pages
+
+    # -- operations ------------------------------------------------------------
+
+    def allocate(self) -> int:
+        """Allocate a new page in the store (not yet cached)."""
+        return self._store.allocate()
+
+    def read_page(self, page_id: int) -> bytes:
+        """Read a page, via cache when resident."""
+        frame = self._frames.get(page_id)
+        if frame is not None:
+            self._frames.move_to_end(page_id)
+            self.stats.record_read(hit=True)
+            return frame[0]
+        data = self._store.read_page(page_id)
+        self._insert(page_id, data, dirty=False)
+        return data
+
+    def write_page(self, page_id: int, data: bytes) -> None:
+        """Stage a page write; flushed to the store on eviction/flush."""
+        if len(data) > self.page_size:
+            raise ValueError(
+                f"page payload of {len(data)} bytes exceeds page size "
+                f"{self.page_size}")
+        if len(data) < self.page_size:
+            data = data + b"\x00" * (self.page_size - len(data))
+        frame = self._frames.get(page_id)
+        if frame is not None:
+            frame[0] = data
+            frame[1] = True
+            self._frames.move_to_end(page_id)
+        else:
+            self._insert(page_id, data, dirty=True)
+
+    def flush(self) -> None:
+        """Write every dirty resident page back to the store."""
+        for page_id, frame in self._frames.items():
+            if frame[1]:
+                self._store.write_page(page_id, frame[0])
+                frame[1] = False
+
+    def clear(self) -> None:
+        """Flush and drop all resident pages (cold-cache reset)."""
+        self.flush()
+        self._frames.clear()
+
+    def close(self) -> None:
+        """Flush and close the underlying store."""
+        self.flush()
+        self._store.close()
+
+    # -- internals ------------------------------------------------------------
+
+    def _insert(self, page_id: int, data: bytes, dirty: bool) -> None:
+        while len(self._frames) >= self.capacity:
+            evicted_id, evicted = self._frames.popitem(last=False)
+            if evicted[1]:
+                self._store.write_page(evicted_id, evicted[0])
+        self._frames[page_id] = [data, dirty]
+
+    def __enter__(self) -> "BufferPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

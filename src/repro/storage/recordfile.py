@@ -1,0 +1,120 @@
+"""Variable-length records on top of the page store.
+
+Index payloads (inverted-list segments, serialized tree nodes) are arbitrary
+byte blobs; :class:`RecordFile` packs them densely across pages and hands
+back a :class:`RecordPointer`.  A read touches exactly the pages the record
+spans — reproducing the paper's property that reading a short posting-list
+slice costs few I/Os while a long one costs proportionally more.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .buffer import BufferPool
+from .pages import PageStore
+
+
+@dataclass(frozen=True)
+class RecordPointer:
+    """Location of a record: absolute byte offset and length."""
+
+    offset: int
+    length: int
+
+    def __post_init__(self) -> None:
+        if self.offset < 0 or self.length < 0:
+            raise ValueError(f"invalid record pointer {self!r}")
+
+
+class RecordFile:
+    """Append-only byte-blob store with page-accounted reads."""
+
+    def __init__(self, store: PageStore, buffer_capacity: int = 128) -> None:
+        self._pool = BufferPool(store, capacity=buffer_capacity)
+        self._append_offset = store.num_pages * store.page_size
+
+    @property
+    def page_size(self) -> int:
+        return self._pool.page_size
+
+    @property
+    def stats(self):
+        """I/O stats of the underlying store."""
+        return self._pool.stats
+
+    @property
+    def size_in_bytes(self) -> int:
+        """Total bytes appended so far."""
+        return self._append_offset
+
+    @property
+    def size_in_pages(self) -> int:
+        """Total pages allocated so far."""
+        return self._pool.num_pages
+
+    def append(self, payload: bytes) -> RecordPointer:
+        """Append a record, allocating pages as needed."""
+        pointer = RecordPointer(self._append_offset, len(payload))
+        page_size = self.page_size
+        cursor = 0
+        offset = self._append_offset
+        while cursor < len(payload):
+            page_id = offset // page_size
+            in_page = offset % page_size
+            while page_id >= self._pool.num_pages:
+                self._pool.allocate()
+            take = min(page_size - in_page, len(payload) - cursor)
+            page = bytearray(self._pool.read_page(page_id))
+            page[in_page:in_page + take] = payload[cursor:cursor + take]
+            self._pool.write_page(page_id, bytes(page))
+            cursor += take
+            offset += take
+        self._append_offset += len(payload)
+        return pointer
+
+    def read(self, pointer: RecordPointer) -> bytes:
+        """Read a record back; touches each spanned page once."""
+        if pointer.offset + pointer.length > self._append_offset:
+            raise ValueError(
+                f"record pointer {pointer} reaches past end of file "
+                f"({self._append_offset} bytes)")
+        if pointer.length == 0:
+            return b""
+        page_size = self.page_size
+        first_page = pointer.offset // page_size
+        last_page = (pointer.offset + pointer.length - 1) // page_size
+        chunks = []
+        for page_id in range(first_page, last_page + 1):
+            chunks.append(self._pool.read_page(page_id))
+        blob = b"".join(chunks)
+        start = pointer.offset - first_page * page_size
+        return blob[start:start + pointer.length]
+
+    def read_span(self, start: RecordPointer, end_offset: int) -> bytes:
+        """Read the byte range ``[start.offset, end_offset)``.
+
+        Used by DESKS to fetch the POI-list slice between two sub-region
+        pointers in one sequential sweep.
+        """
+        if end_offset < start.offset:
+            raise ValueError("read_span end precedes start")
+        return self.read(RecordPointer(start.offset,
+                                       end_offset - start.offset))
+
+    def flush(self) -> None:
+        """Write back dirty buffered pages."""
+        self._pool.flush()
+
+    def drop_cache(self) -> None:
+        """Flush and evict everything (simulate a cold cache)."""
+        self._pool.clear()
+
+    def close(self) -> None:
+        self._pool.close()
+
+    def __enter__(self) -> "RecordFile":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,101 @@
+"""Compact binary encodings for index payloads.
+
+Inverted lists dominate the on-disk footprint of every index in the paper, so
+they are stored as delta-encoded varints — the standard IR trick: sorted id
+lists become small gaps, and small gaps become 1-2 byte varints.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import List, Sequence, Tuple
+
+
+def encode_varint(value: int) -> bytes:
+    """LEB128-encode a non-negative integer."""
+    if value < 0:
+        raise ValueError(f"varints encode non-negative integers, got {value}")
+    out = bytearray()
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return bytes(out)
+
+
+def decode_varint(data: bytes, offset: int = 0) -> Tuple[int, int]:
+    """Decode one varint; returns ``(value, next_offset)``."""
+    value = 0
+    shift = 0
+    pos = offset
+    while True:
+        if pos >= len(data):
+            raise ValueError("truncated varint")
+        byte = data[pos]
+        pos += 1
+        value |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return value, pos
+        shift += 7
+        if shift > 63:
+            raise ValueError("varint too long")
+
+
+def encode_sorted_ids(ids: Sequence[int]) -> bytes:
+    """Delta+varint encode a non-decreasing id sequence."""
+    out = bytearray(encode_varint(len(ids)))
+    prev = 0
+    for i, value in enumerate(ids):
+        if i and value < prev:
+            raise ValueError("encode_sorted_ids requires a sorted sequence")
+        out += encode_varint(value - prev if i else value)
+        prev = value
+    return bytes(out)
+
+
+def decode_sorted_ids(data: bytes, offset: int = 0) -> Tuple[List[int], int]:
+    """Inverse of :func:`encode_sorted_ids`; returns ``(ids, next_offset)``."""
+    count, pos = decode_varint(data, offset)
+    ids: List[int] = []
+    prev = 0
+    for i in range(count):
+        gap, pos = decode_varint(data, pos)
+        prev = gap if i == 0 else prev + gap
+        ids.append(prev)
+    return ids, pos
+
+
+def encode_uint_list(values: Sequence[int]) -> bytes:
+    """Varint encode an arbitrary (unsorted) non-negative int sequence."""
+    out = bytearray(encode_varint(len(values)))
+    for value in values:
+        out += encode_varint(value)
+    return bytes(out)
+
+
+def decode_uint_list(data: bytes, offset: int = 0) -> Tuple[List[int], int]:
+    """Inverse of :func:`encode_uint_list`."""
+    count, pos = decode_varint(data, offset)
+    values: List[int] = []
+    for _ in range(count):
+        value, pos = decode_varint(data, pos)
+        values.append(value)
+    return values, pos
+
+
+def encode_floats(values: Sequence[float]) -> bytes:
+    """Fixed-width little-endian float64 sequence with a varint count."""
+    return encode_varint(len(values)) + struct.pack(
+        f"<{len(values)}d", *values)
+
+
+def decode_floats(data: bytes, offset: int = 0) -> Tuple[List[float], int]:
+    """Inverse of :func:`encode_floats`."""
+    count, pos = decode_varint(data, offset)
+    end = pos + 8 * count
+    if end > len(data):
+        raise ValueError("truncated float payload")
+    return list(struct.unpack(f"<{count}d", data[pos:end])), end

@@ -1,0 +1,102 @@
+"""I/O accounting for the simulated disk.
+
+The paper evaluates disk-based indexes; in a pure-Python reproduction, wall
+time alone under-reports the asymptotic story (Python overhead dwarfs a
+simulated seek).  Every page access therefore flows through an
+:class:`IOStats` so benchmarks can report logical page reads/writes alongside
+wall time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class IOStats:
+    """Mutable counters for logical page-level I/O.
+
+    ``physical_reads`` count pages actually fetched from the backing store;
+    ``cache_hits`` count pages served by the buffer pool.  The sum of the two
+    equals the number of logical page requests.
+    """
+
+    physical_reads: int = 0
+    physical_writes: int = 0
+    cache_hits: int = 0
+
+    def record_read(self, *, hit: bool) -> None:
+        """Record one logical page read, served by cache iff ``hit``."""
+        if hit:
+            self.cache_hits += 1
+        else:
+            self.physical_reads += 1
+
+    def record_write(self) -> None:
+        """Record one physical page write."""
+        self.physical_writes += 1
+
+    @property
+    def logical_reads(self) -> int:
+        """Total page read requests, whether or not they hit the cache."""
+        return self.physical_reads + self.cache_hits
+
+    def reset(self) -> None:
+        """Zero all counters (used between benchmark phases)."""
+        self.physical_reads = 0
+        self.physical_writes = 0
+        self.cache_hits = 0
+
+    def snapshot(self) -> "IOSnapshot":
+        """An immutable copy of the current counters."""
+        return IOSnapshot(self.physical_reads, self.physical_writes,
+                          self.cache_hits)
+
+
+@dataclass(frozen=True)
+class IOSnapshot:
+    """Frozen view of :class:`IOStats` counters, for before/after deltas."""
+
+    physical_reads: int = 0
+    physical_writes: int = 0
+    cache_hits: int = 0
+
+    @property
+    def logical_reads(self) -> int:
+        return self.physical_reads + self.cache_hits
+
+    def delta(self, later: "IOSnapshot") -> "IOSnapshot":
+        """Counters accumulated between ``self`` and a ``later`` snapshot."""
+        return IOSnapshot(
+            later.physical_reads - self.physical_reads,
+            later.physical_writes - self.physical_writes,
+            later.cache_hits - self.cache_hits,
+        )
+
+
+@dataclass
+class SearchStats:
+    """Algorithm-level counters shared by DESKS and the baselines.
+
+    These are the quantities the paper's analysis talks about: how many
+    regions / tree nodes were expanded, how many POIs were touched, how many
+    distance computations ran.  Each search method fills the fields it has.
+    """
+
+    regions_examined: int = 0
+    subregions_examined: int = 0
+    nodes_examined: int = 0
+    pois_examined: int = 0
+    distance_computations: int = 0
+    candidates_verified: int = 0
+    io: IOStats = field(default_factory=IOStats)
+
+    def reset(self) -> None:
+        """Zero all counters, including the embedded I/O stats."""
+        self.regions_examined = 0
+        self.subregions_examined = 0
+        self.nodes_examined = 0
+        self.pois_examined = 0
+        self.distance_computations = 0
+        self.candidates_verified = 0
+        self.io.reset()

@@ -1,0 +1,24 @@
+"""Text substrate: tokenisation, vocabulary, inverted lists, signatures."""
+
+from .inverted import InvertedIndex, intersect_sorted, union_sorted
+from .signatures import (
+    DEFAULT_HASHES,
+    DEFAULT_SIGNATURE_BITS,
+    SignatureScheme,
+)
+from .tokenizer import STOP_WORDS, join_keywords, keyword_set, tokenize
+from .vocabulary import Vocabulary
+
+__all__ = [
+    "DEFAULT_HASHES",
+    "DEFAULT_SIGNATURE_BITS",
+    "STOP_WORDS",
+    "InvertedIndex",
+    "SignatureScheme",
+    "Vocabulary",
+    "intersect_sorted",
+    "union_sorted",
+    "join_keywords",
+    "keyword_set",
+    "tokenize",
+]

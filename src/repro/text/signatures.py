@@ -1,0 +1,59 @@
+"""Fixed-width keyword signatures (superimposed coding).
+
+The MIR2-tree baseline [Felipe et al., ICDE'08] attaches a signature to each
+R-tree node: the bitwise OR of the signatures of all keywords beneath it.  A
+node can be pruned when the query signature is not a subset of the node
+signature.  Signatures admit false positives (hash collisions) but never
+false negatives, so pruning is safe.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+#: Default signature width in bits.  Felipe et al. use widths in this range;
+#: wider signatures mean fewer false positives and more space per node.
+DEFAULT_SIGNATURE_BITS = 512
+
+#: Hash functions per term, Bloom-filter style.
+DEFAULT_HASHES = 3
+
+
+class SignatureScheme:
+    """Maps term ids to bit patterns and tests superset containment."""
+
+    def __init__(self, bits: int = DEFAULT_SIGNATURE_BITS,
+                 hashes: int = DEFAULT_HASHES) -> None:
+        if bits <= 0 or hashes <= 0:
+            raise ValueError(
+                f"signature needs positive bits/hashes, got {bits}/{hashes}")
+        self.bits = bits
+        self.hashes = hashes
+
+    def term_signature(self, term_id: int) -> int:
+        """The bit pattern of a single term (an int used as a bitset)."""
+        sig = 0
+        # Deterministic double hashing: h_i(t) = (h1 + i*h2) mod bits.
+        h1 = (term_id * 0x9E3779B97F4A7C15) & 0xFFFFFFFFFFFFFFFF
+        h2 = ((term_id + 1) * 0xC2B2AE3D27D4EB4F) & 0xFFFFFFFFFFFFFFFF
+        h2 |= 1  # odd stride hits all residues when bits is a power of two
+        for i in range(self.hashes):
+            sig |= 1 << ((h1 + i * h2) % self.bits)
+        return sig
+
+    def signature_of(self, term_ids: Iterable[int]) -> int:
+        """OR of the signatures of all ``term_ids``."""
+        sig = 0
+        for term_id in term_ids:
+            sig |= self.term_signature(term_id)
+        return sig
+
+    @staticmethod
+    def might_contain(node_signature: int, query_signature: int) -> bool:
+        """False only when the node certainly lacks some query keyword."""
+        return node_signature & query_signature == query_signature
+
+    @property
+    def bytes_per_signature(self) -> int:
+        """Storage cost of one signature."""
+        return (self.bits + 7) // 8

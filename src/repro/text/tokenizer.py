@@ -1,0 +1,42 @@
+"""Keyword tokenisation.
+
+POI descriptions in the paper are short keyword sets ("chinese food", shop
+names, categories).  The tokenizer lower-cases, strips punctuation, and
+drops a small stop-word list — enough to turn raw description strings into
+the keyword sets the algorithms operate on.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import FrozenSet, Iterable, List
+
+_TOKEN_RE = re.compile(r"[a-z0-9]+")
+
+#: Words too common to be useful as search keywords.
+STOP_WORDS = frozenset({
+    "a", "an", "and", "at", "by", "for", "in", "of", "on", "or",
+    "the", "to", "with",
+})
+
+
+def tokenize(text: str, stop_words: FrozenSet[str] = STOP_WORDS,
+             ) -> List[str]:
+    """Split ``text`` into normalised keyword tokens, preserving order.
+
+    Duplicates are kept (term-count statistics need them); use
+    :func:`keyword_set` for the deduplicated set.
+    """
+    return [t for t in _TOKEN_RE.findall(text.lower())
+            if t not in stop_words]
+
+
+def keyword_set(text: str, stop_words: FrozenSet[str] = STOP_WORDS,
+                ) -> FrozenSet[str]:
+    """The deduplicated keyword set of ``text``."""
+    return frozenset(tokenize(text, stop_words))
+
+
+def join_keywords(keywords: Iterable[str]) -> str:
+    """Render a keyword collection back to a canonical description string."""
+    return " ".join(sorted(keywords))

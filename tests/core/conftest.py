@@ -1,0 +1,48 @@
+"""Shared fixtures for DESKS core tests."""
+
+import math
+import random
+
+import pytest
+
+from repro.core import DesksIndex, DesksSearcher
+from repro.datasets import POI, POICollection
+
+KEYWORD_POOL = ["cafe", "food", "gas", "atm", "pizza", "bank", "hotel",
+                "park"]
+
+
+def make_collection(n=400, seed=42, extent=100.0):
+    rng = random.Random(seed)
+    pois = []
+    for i in range(n):
+        kws = rng.sample(KEYWORD_POOL, rng.randint(1, 3))
+        pois.append(POI.make(i, rng.uniform(0, extent),
+                             rng.uniform(0, extent), kws))
+    return POICollection(pois)
+
+
+def random_query_params(rng, extent=100.0, outside=False):
+    margin = 0.5 * extent if outside else 0.0
+    x = rng.uniform(-margin, extent + margin)
+    y = rng.uniform(-margin, extent + margin)
+    alpha = rng.uniform(0.0, 2 * math.pi)
+    width = rng.uniform(0.05, 2 * math.pi)
+    keywords = rng.sample(KEYWORD_POOL, rng.randint(1, 2))
+    k = rng.choice([1, 3, 10, 25])
+    return x, y, alpha, alpha + width, keywords, k
+
+
+@pytest.fixture(scope="session")
+def collection():
+    return make_collection()
+
+
+@pytest.fixture(scope="session")
+def index(collection):
+    return DesksIndex(collection, num_bands=5, num_wedges=6)
+
+
+@pytest.fixture(scope="session")
+def searcher(index):
+    return DesksSearcher(index)

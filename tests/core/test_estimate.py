@@ -1,0 +1,128 @@
+"""Tests for the cardinality estimator: calibration, not exactness."""
+
+import math
+import random
+
+import pytest
+
+from repro.core import (
+    CardinalityEstimator,
+    DirectionalQuery,
+    MatchMode,
+    brute_force_search,
+)
+from repro.datasets import POI, POICollection
+
+from .conftest import KEYWORD_POOL, make_collection
+
+
+@pytest.fixture(scope="module")
+def setup():
+    collection = make_collection(2000, seed=97)
+    return collection, CardinalityEstimator(collection)
+
+
+class TestSelectivities:
+    def test_unknown_keyword_zero(self, setup):
+        _, est = setup
+        q = DirectionalQuery.make(50, 50, 0, 1, ["nope"], 5)
+        assert est.keyword_selectivity(q) == 0.0
+        assert est.estimate_matching_pois(q) == 0.0
+        assert est.estimate_kth_distance(q) is None
+
+    def test_all_mode_product(self):
+        col = POICollection(
+            [POI.make(i, float(i), 0.0, ["a", "b"]) for i in range(5)]
+            + [POI.make(5 + i, float(i), 1.0, ["a"]) for i in range(5)])
+        est = CardinalityEstimator(col)
+        q_a = DirectionalQuery.make(0, 0, 0, 1, ["a"], 1)
+        q_ab = DirectionalQuery.make(0, 0, 0, 1, ["a", "b"], 1)
+        assert est.keyword_selectivity(q_a) == pytest.approx(1.0)
+        assert est.keyword_selectivity(q_ab) == pytest.approx(0.5)
+
+    def test_any_mode_inclusion_exclusion(self):
+        col = POICollection(
+            [POI.make(0, 0, 0, ["a"]), POI.make(1, 1, 0, ["b"]),
+             POI.make(2, 2, 0, ["c"]), POI.make(3, 3, 0, ["c"])])
+        est = CardinalityEstimator(col)
+        q = DirectionalQuery.make(0, 0, 0, 1, ["a", "b"], 1,
+                                  match_mode=MatchMode.ANY)
+        # 1 - (1 - 1/4)(1 - 1/4) = 7/16
+        assert est.keyword_selectivity(q) == pytest.approx(7 / 16)
+
+    def test_direction_fraction(self, setup):
+        _, est = setup
+        q = DirectionalQuery.make(50, 50, 0, math.pi, ["cafe"], 1)
+        assert est.direction_selectivity(q) == pytest.approx(0.5)
+        full = DirectionalQuery.undirected(50, 50, ["cafe"], 1)
+        assert est.direction_selectivity(full) == pytest.approx(1.0)
+
+
+class TestCalibration:
+    def test_matching_count_correlates(self, setup):
+        """Estimates must rank query result sizes roughly correctly."""
+        collection, est = setup
+        rng = random.Random(5)
+        pairs = []
+        for _ in range(30):
+            width = rng.choice([0.5, 2.0, 6.0])
+            kws = rng.sample(KEYWORD_POOL, rng.randint(1, 2))
+            a = rng.uniform(0, 2 * math.pi)
+            q = DirectionalQuery.make(50, 50, a, a + width, kws, 100000)
+            actual = len(brute_force_search(collection, q))
+            pairs.append((est.estimate_matching_pois(q), actual))
+        # Rank correlation via concordant-pair counting (Kendall-ish).
+        concordant = discordant = 0
+        for i in range(len(pairs)):
+            for j in range(i + 1, len(pairs)):
+                de = pairs[i][0] - pairs[j][0]
+                da = pairs[i][1] - pairs[j][1]
+                if de * da > 0:
+                    concordant += 1
+                elif de * da < 0:
+                    discordant += 1
+        assert concordant > 2 * discordant
+
+    def test_count_estimate_within_factor(self, setup):
+        """For central, wide queries the count estimate is in the right
+        ballpark (factor ~3, uniform-ish data)."""
+        collection, est = setup
+        q = DirectionalQuery.make(50, 50, 0.0, 2 * math.pi, ["food"],
+                                  100000)
+        actual = len(brute_force_search(collection, q))
+        estimate = est.estimate_matching_pois(q)
+        assert actual / 3 <= estimate <= actual * 3
+
+    def test_kth_distance_monotone_in_k(self, setup):
+        _, est = setup
+        q1 = DirectionalQuery.make(50, 50, 0.0, 1.0, ["food"], 1)
+        q10 = DirectionalQuery.make(50, 50, 0.0, 1.0, ["food"], 10)
+        d1, d10 = est.estimate_kth_distance(q1), est.estimate_kth_distance(q10)
+        assert d1 is not None and d10 is not None
+        assert d10 > d1
+
+    def test_kth_distance_monotone_in_width(self, setup):
+        _, est = setup
+        narrow = DirectionalQuery.make(50, 50, 0.0, 0.3, ["food"], 10)
+        wide = DirectionalQuery.make(50, 50, 0.0, 3.0, ["food"], 10)
+        dn = est.estimate_kth_distance(narrow)
+        dw = est.estimate_kth_distance(wide)
+        if dn is not None and dw is not None:
+            assert dw < dn
+
+    def test_kth_distance_roughly_calibrated(self, setup):
+        """Central wide query: estimate within 3x of the true k-th."""
+        collection, est = setup
+        q = DirectionalQuery.make(50, 50, 0.0, 2 * math.pi, ["food"], 10)
+        actual = brute_force_search(collection, q).kth_distance
+        estimate = est.estimate_kth_distance(q)
+        assert estimate is not None
+        assert actual / 3 <= estimate <= actual * 3
+
+    def test_summary_renders(self, setup):
+        _, est = setup
+        q = DirectionalQuery.make(50, 50, 0.0, 1.0, ["food"], 10)
+        text = est.summary(q)
+        assert "estimated in-direction matches" in text
+        q_dry = DirectionalQuery.make(50, 50, 0.0, 0.001, ["food"], 1000)
+        assert "beyond dataset" in est.summary(q_dry)

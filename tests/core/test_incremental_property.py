@@ -1,0 +1,109 @@
+"""Property-based tests: incremental answers always equal fresh answers.
+
+Hypothesis drives random datasets, base queries and update sequences; the
+invariant is exactness — whatever path the incremental machinery takes
+(cache hit, wedge search, overlap re-search, from-scratch fallback), the
+answers' distances must match a fresh search of the final interval.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    DesksIndex,
+    DesksSearcher,
+    DirectionalQuery,
+    IncrementalSearcher,
+    brute_force_search,
+)
+from repro.datasets import POI, POICollection
+
+pois_strategy = st.lists(
+    st.tuples(st.floats(0, 40).map(lambda v: round(v, 2)),
+              st.floats(0, 40).map(lambda v: round(v, 2)),
+              st.sets(st.sampled_from("abc"), min_size=1, max_size=2)),
+    min_size=3, max_size=40)
+
+angle = st.floats(0, 2 * math.pi)
+width = st.floats(0.1, 2.0)
+
+
+def build(pois):
+    col = POICollection([POI.make(i, x, y, ks)
+                         for i, (x, y, ks) in enumerate(pois)])
+    return col, DesksSearcher(DesksIndex(col, num_bands=2, num_wedges=3))
+
+
+def assert_equals_fresh(col, inc_result, final_query):
+    fresh = brute_force_search(col, final_query)
+    assert [round(d, 9) for d in inc_result.distances()] == \
+        [round(d, 9) for d in fresh.distances()]
+
+
+class TestIncrementalProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(pois=pois_strategy, qx=st.floats(0, 40), qy=st.floats(0, 40),
+           alpha=angle, w=width,
+           grow_lo=st.floats(0, 1.0), grow_hi=st.floats(0, 1.0),
+           kws=st.sets(st.sampled_from("abc"), min_size=1, max_size=2),
+           k=st.integers(1, 6))
+    def test_increase_always_exact(self, pois, qx, qy, alpha, w,
+                                   grow_lo, grow_hi, kws, k):
+        col, searcher = build(pois)
+        inc = IncrementalSearcher(searcher)
+        q = DirectionalQuery.make(qx, qy, alpha, alpha + w, kws, k)
+        inc.initial_search(q)
+        wider = q.interval.widen(grow_lo, grow_hi)
+        result = inc.increase_direction(wider)
+        assert_equals_fresh(col, result, q.with_interval(wider))
+
+    @settings(max_examples=40, deadline=None)
+    @given(pois=pois_strategy, qx=st.floats(0, 40), qy=st.floats(0, 40),
+           alpha=angle, w=width, delta=st.floats(-2.5, 2.5),
+           kws=st.sets(st.sampled_from("abc"), min_size=1, max_size=2),
+           k=st.integers(1, 6))
+    def test_move_always_exact(self, pois, qx, qy, alpha, w, delta, kws, k):
+        col, searcher = build(pois)
+        inc = IncrementalSearcher(searcher)
+        q = DirectionalQuery.make(qx, qy, alpha, alpha + w, kws, k)
+        inc.initial_search(q)
+        result = inc.move_direction(delta)
+        assert_equals_fresh(col, result,
+                            q.with_interval(q.interval.rotate(delta)))
+
+    @settings(max_examples=25, deadline=None)
+    @given(pois=pois_strategy, qx=st.floats(0, 40), qy=st.floats(0, 40),
+           alpha=angle, w=width,
+           steps=st.lists(
+               st.one_of(
+                   st.tuples(st.just("move"), st.floats(-0.8, 0.8)),
+                   st.tuples(st.just("widen"), st.floats(0.01, 0.5)),
+                   st.tuples(st.just("hop"), st.floats(-3.0, 3.0))),
+               min_size=1, max_size=5),
+           kws=st.sets(st.sampled_from("abc"), min_size=1, max_size=2))
+    def test_update_sequences_exact(self, pois, qx, qy, alpha, w, steps,
+                                    kws):
+        """Chains of mixed updates never drift from the fresh answer."""
+        col, searcher = build(pois)
+        inc = IncrementalSearcher(searcher)
+        q = DirectionalQuery.make(qx, qy, alpha, alpha + w, kws, 4)
+        inc.initial_search(q)
+        interval = q.interval
+        location = q.location
+        for kind, value in steps:
+            if kind == "move":
+                interval = interval.rotate(value)
+                result = inc.move_direction(value)
+            elif kind == "widen":
+                interval = interval.widen(value, value)
+                result = inc.increase_direction(interval)
+            else:
+                location = location.translate(value, -value / 2)
+                result = inc.move_location(location.x, location.y)
+            expect = brute_force_search(
+                col, DirectionalQuery(location, interval, q.keywords, q.k))
+            assert [round(d, 9) for d in result.distances()] == \
+                [round(d, 9) for d in expect.distances()]

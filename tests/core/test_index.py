@@ -1,0 +1,80 @@
+"""Tests for DesksIndex construction and sizing."""
+
+import pytest
+
+from repro.core import (
+    DesksIndex,
+    recommended_bands,
+    recommended_wedges,
+)
+from repro.geometry import Anchor
+
+from .conftest import make_collection
+
+
+class TestRecommendedParams:
+    def test_bands_rule(self):
+        assert recommended_bands(10_000) == 1
+        assert recommended_bands(100_000) == 10
+        assert recommended_bands(50) == 1
+
+    def test_wedges_rule(self):
+        # 10k POIs per band / 100 per sub-region => 100 wedges.
+        assert recommended_wedges(100_000, num_bands=10) == 100
+        assert recommended_wedges(50) == 1
+
+    def test_paper_cn_configuration(self):
+        """16M POIs: the paper lands on N=1000, M=600-ish with this rule."""
+        n = 16_500_000
+        bands = recommended_bands(n)
+        assert 1000 <= bands <= 2000
+        wedges = recommended_wedges(n, num_bands=1000)
+        assert 100 <= wedges <= 300
+
+
+class TestDesksIndexBuild:
+    def test_default_build(self, collection, index):
+        assert index.num_bands >= 1
+        assert index.num_wedges >= 1
+        assert index.built_anchors() == [0, 1, 2, 3]
+        assert index.build_seconds > 0
+
+    def test_anchor_index_access(self, index):
+        for q in range(4):
+            anchor = index.anchor_index(q)
+            assert anchor.frame.anchor is Anchor(q)
+            assert anchor.regions.num_bands >= 1
+
+    def test_partial_anchors(self):
+        col = make_collection(50, seed=1)
+        idx = DesksIndex(col, num_bands=2, num_wedges=2,
+                         anchors=[Anchor.BOTTOM_LEFT])
+        assert idx.built_anchors() == [0]
+        with pytest.raises(ValueError):
+            idx.anchor_index(2)
+
+    def test_size_accounting(self, collection):
+        small = DesksIndex(collection, num_bands=2, num_wedges=2)
+        assert small.size_bytes > 0
+        one_anchor = DesksIndex(collection, num_bands=2, num_wedges=2,
+                                anchors=[Anchor.BOTTOM_LEFT])
+        # Four anchors cost roughly four times one anchor.
+        assert small.size_bytes == pytest.approx(
+            4 * one_anchor.size_bytes, rel=0.05)
+
+    def test_disk_build_with_files(self, tmp_path):
+        col = make_collection(80, seed=2)
+        prefix = str(tmp_path / "desks")
+        with DesksIndex(col, num_bands=2, num_wedges=2, disk_based=True,
+                        disk_path_prefix=prefix) as idx:
+            assert idx.disk_based
+            assert (tmp_path / "desks.a0.bin").exists()
+            assert idx.size_bytes > 0
+
+    def test_drop_caches_noop_for_memory(self, index):
+        index.drop_caches()  # must not raise
+
+    def test_poi_count_preserved_per_anchor(self, collection, index):
+        for q in range(4):
+            regions = index.anchor_index(q).regions
+            assert len(regions.poi_order) == len(collection)

@@ -1,0 +1,140 @@
+"""Tests for the ANY (disjunctive) keyword mode across the whole stack."""
+
+import random
+
+import pytest
+
+from repro.baselines import FilterThenVerify, IRTree, MIR2Tree
+from repro.core import (
+    DesksIndex,
+    DesksSearcher,
+    DirectionalQuery,
+    MatchMode,
+    MutableDesksIndex,
+    PruningMode,
+    brute_force_search,
+)
+from repro.geometry import DirectionInterval, Point
+
+from .conftest import make_collection, random_query_params
+
+
+@pytest.fixture(scope="module")
+def setup():
+    collection = make_collection(300, seed=81)
+    searcher = DesksSearcher(DesksIndex(collection, num_bands=4,
+                                        num_wedges=4))
+    return collection, searcher
+
+
+def any_query(x, y, a, b, kws, k):
+    return DirectionalQuery(Point(x, y), DirectionInterval(a, b),
+                            frozenset(kws), k, MatchMode.ANY)
+
+
+class TestQuerySemantics:
+    def test_keywords_match_all(self):
+        q = DirectionalQuery.make(0, 0, 0, 1, ["a", "b"])
+        assert q.keywords_match(frozenset({"a", "b", "c"}))
+        assert not q.keywords_match(frozenset({"a"}))
+
+    def test_keywords_match_any(self):
+        q = DirectionalQuery.make(0, 0, 0, 1, ["a", "b"],
+                                  match_mode=MatchMode.ANY)
+        assert q.keywords_match(frozenset({"b", "z"}))
+        assert not q.keywords_match(frozenset({"z"}))
+
+    def test_with_interval_preserves_mode(self):
+        q = DirectionalQuery.make(0, 0, 0, 1, ["a"],
+                                  match_mode=MatchMode.ANY)
+        assert q.with_interval(DirectionInterval(1, 2)).match_mode is \
+            MatchMode.ANY
+
+    def test_default_is_all(self):
+        assert DirectionalQuery.make(0, 0, 0, 1, ["a"]).match_mode is \
+            MatchMode.ALL
+
+
+class TestDesksAnyMode:
+    @pytest.mark.parametrize("mode", list(PruningMode))
+    def test_matches_brute_force(self, setup, mode):
+        collection, searcher = setup
+        rng = random.Random(82)
+        for _ in range(40):
+            x, y, a, b, kws, k = random_query_params(rng)
+            q = any_query(x, y, a, b, kws, k)
+            got = searcher.search(q, mode).distances()
+            expect = brute_force_search(collection, q).distances()
+            assert [round(d, 9) for d in got] == \
+                [round(d, 9) for d in expect]
+
+    def test_any_returns_superset_matches(self, setup):
+        """ANY answers at least as close as ALL for the same keywords."""
+        collection, searcher = setup
+        all_q = DirectionalQuery.make(50, 50, 0.0, 2.5,
+                                      ["cafe", "gas"], 10)
+        any_q = any_query(50, 50, 0.0, 2.5, ["cafe", "gas"], 10)
+        d_all = searcher.search(all_q).distances()
+        d_any = searcher.search(any_q).distances()
+        if d_all and d_any:
+            assert d_any[0] <= d_all[0]
+
+    def test_unknown_keyword_dropped_in_any(self, setup):
+        collection, searcher = setup
+        q = any_query(50, 50, 0.0, 6.0, ["cafe", "notaword"], 5)
+        expect = brute_force_search(collection, q).distances()
+        got = searcher.search(q).distances()
+        assert got == pytest.approx(expect)
+        assert got  # the known keyword still matches POIs
+
+    def test_all_keywords_unknown_empty(self, setup):
+        _, searcher = setup
+        q = any_query(50, 50, 0.0, 6.0, ["nope1", "nope2"], 5)
+        assert len(searcher.search(q)) == 0
+
+
+class TestBaselinesAnyMode:
+    @pytest.mark.parametrize("cls", [FilterThenVerify, MIR2Tree, IRTree],
+                             ids=lambda c: c.name)
+    def test_matches_brute_force(self, setup, cls):
+        collection, _ = setup
+        index = cls(collection, fanout=8)
+        rng = random.Random(83)
+        for _ in range(25):
+            x, y, a, b, kws, k = random_query_params(rng)
+            q = any_query(x, y, a, b, kws, k)
+            got = index.search(q).distances()
+            expect = brute_force_search(collection, q).distances()
+            assert [round(d, 9) for d in got] == \
+                [round(d, 9) for d in expect]
+
+
+class TestDynamicAnyMode:
+    def test_mutable_index_any(self, setup):
+        collection, _ = setup
+        idx = MutableDesksIndex(collection, num_bands=3, num_wedges=3,
+                                rebuild_threshold=1.0)
+        idx.insert(50.0, 51.0, ["snackbar"])
+        q = any_query(50, 50, 0.0, 6.28, ["snackbar", "cafe"], 3)
+        result = idx.search(q)
+        assert len(result) == 3
+        assert result.distances() == sorted(result.distances())
+
+    def test_any_mode_with_tombstones(self, setup):
+        """Regression: the tombstone-inflated static query must keep the
+        query's match mode (it once silently reverted to ALL)."""
+        collection, _ = setup
+        idx = MutableDesksIndex(collection, num_bands=3, num_wedges=3,
+                                rebuild_threshold=1.0)
+        q = any_query(50, 50, 0.0, 6.28, ["cafe", "gas"], 10)
+        before = idx.search(q)
+        # Delete one of the current answers; remaining answers must still
+        # follow ANY semantics (brute force over the live set agrees).
+        victim = before.poi_ids()[0]
+        assert idx.delete(victim)
+        got = idx.search(q).distances()
+        live = [p for p in idx.live_pois()]
+        expect = sorted(
+            q.location.distance_to(p.location)
+            for p in live if q.matches(p.location, p.keywords))[:q.k]
+        assert [round(d, 9) for d in got] == [round(d, 9) for d in expect]

@@ -1,0 +1,204 @@
+"""Tests for index save/load (core.persistence + regions blobs)."""
+
+import json
+import math
+import random
+
+import pytest
+
+from repro.core import (
+    DesksIndex,
+    DesksSearcher,
+    DirectionalQuery,
+    load_index,
+    save_index,
+)
+from repro.core.regions import AnchorRegions
+from repro.geometry import Anchor, CanonicalFrame, MBR, Point
+
+from .conftest import make_collection, random_query_params
+
+
+@pytest.fixture(scope="module")
+def saved(tmp_path_factory):
+    collection = make_collection(250, seed=41)
+    index = DesksIndex(collection, num_bands=4, num_wedges=5)
+    directory = tmp_path_factory.mktemp("idx") / "desks"
+    save_index(index, str(directory))
+    return collection, index, directory
+
+
+class TestRegionsBlob:
+    def make_regions(self):
+        rng = random.Random(3)
+        points = [Point(rng.uniform(0, 50), rng.uniform(0, 50))
+                  for _ in range(120)]
+        frame = CanonicalFrame(Anchor.TOP_RIGHT, MBR.from_points(points))
+        return AnchorRegions(frame, points, 4, 3), frame, points
+
+    def test_round_trip_structure(self):
+        regions, frame, points = self.make_regions()
+        restored = AnchorRegions.from_blob(frame, points, regions.to_blob())
+        assert restored.poi_order == regions.poi_order
+        assert restored.position_of == regions.position_of
+        assert restored.num_bands == regions.num_bands
+        assert restored.num_subregions == regions.num_subregions
+        for a, b in zip(regions.bands, restored.bands):
+            assert a.inner_radius == b.inner_radius
+            assert a.outer_radius == b.outer_radius
+        for a, b in zip(regions.subregions, restored.subregions):
+            assert (a.gid, a.band_index, a.start, a.end) == \
+                (b.gid, b.band_index, b.start, b.end)
+            assert a.theta_lo == b.theta_lo
+            assert a.theta_hi == b.theta_hi
+
+    def test_wrong_collection_size_rejected(self):
+        regions, frame, points = self.make_regions()
+        with pytest.raises(ValueError, match="indexes"):
+            AnchorRegions.from_blob(frame, points[:-1], regions.to_blob())
+
+    def test_truncated_blob_rejected(self):
+        regions, frame, points = self.make_regions()
+        blob = regions.to_blob()
+        with pytest.raises(ValueError):
+            AnchorRegions.from_blob(frame, points, blob[:10])
+
+
+class TestSaveIndex:
+    def test_files_written(self, saved):
+        _, _, directory = saved
+        assert (directory / "meta.json").exists()
+        assert (directory / "pois.csv").exists()
+        for quadrant in range(4):
+            assert (directory / f"anchor{quadrant}.bin").exists()
+
+    def test_meta_contents(self, saved):
+        _, index, directory = saved
+        meta = json.loads((directory / "meta.json").read_text())
+        assert meta["num_bands"] == index.num_bands
+        assert meta["num_wedges"] == index.num_wedges
+        assert meta["num_pois"] == len(index.collection)
+
+    def test_disk_based_rejected(self, tmp_path):
+        collection = make_collection(30, seed=2)
+        index = DesksIndex(collection, num_bands=2, num_wedges=2,
+                           disk_based=True)
+        with pytest.raises(ValueError, match="disk-based"):
+            save_index(index, str(tmp_path / "nope"))
+
+
+class TestLoadIndex:
+    def test_round_trip_answers_identical(self, saved):
+        collection, index, directory = saved
+        loaded = load_index(str(directory))
+        original = DesksSearcher(index)
+        restored = DesksSearcher(loaded)
+        rng = random.Random(6)
+        for _ in range(40):
+            x, y, a, b, kws, k = random_query_params(rng)
+            q = DirectionalQuery.make(x, y, a, b, kws, k)
+            assert restored.search(q).distances() == pytest.approx(
+                original.search(q).distances())
+
+    def test_loaded_structure_matches(self, saved):
+        _, index, directory = saved
+        loaded = load_index(str(directory))
+        assert loaded.num_bands == index.num_bands
+        assert loaded.built_anchors() == index.built_anchors()
+        for quadrant in range(4):
+            assert (loaded.anchor_index(quadrant).regions.poi_order
+                    == index.anchor_index(quadrant).regions.poi_order)
+
+    def test_missing_directory(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_index(str(tmp_path / "missing"))
+
+    def test_version_mismatch(self, saved, tmp_path):
+        _, _, directory = saved
+        import shutil
+        copy = tmp_path / "v99"
+        shutil.copytree(directory, copy)
+        meta = json.loads((copy / "meta.json").read_text())
+        meta["version"] = 99
+        (copy / "meta.json").write_text(json.dumps(meta))
+        with pytest.raises(ValueError, match="version"):
+            load_index(str(copy))
+
+    def test_poi_count_mismatch(self, saved, tmp_path):
+        _, _, directory = saved
+        import shutil
+        copy = tmp_path / "short"
+        shutil.copytree(directory, copy)
+        lines = (copy / "pois.csv").read_text().splitlines()
+        (copy / "pois.csv").write_text("\n".join(lines[:-1]) + "\n")
+        with pytest.raises(ValueError, match="promises"):
+            load_index(str(copy))
+
+    def test_partial_anchor_save(self, tmp_path):
+        collection = make_collection(60, seed=3)
+        index = DesksIndex(collection, num_bands=2, num_wedges=2,
+                           anchors=[Anchor.BOTTOM_LEFT])
+        directory = tmp_path / "partial"
+        save_index(index, str(directory))
+        loaded = load_index(str(directory))
+        assert loaded.built_anchors() == [0]
+        q = DirectionalQuery.make(50, 50, 0.1, 1.0, ["cafe"], 3)
+        assert DesksSearcher(loaded).search(q).distances() == \
+            pytest.approx(DesksSearcher(index).search(q).distances())
+
+
+class TestPersistenceProperty:
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+
+    @settings(max_examples=15, deadline=None)
+    @given(rows=st.lists(
+        st.tuples(st.floats(0, 50).map(lambda v: round(v, 2)),
+                  st.floats(0, 50).map(lambda v: round(v, 2)),
+                  st.sets(st.sampled_from("abcd"), min_size=1, max_size=3)),
+        min_size=1, max_size=30),
+        bands=st.integers(1, 4), wedges=st.integers(1, 4))
+    def test_round_trip_any_collection(self, rows, bands, wedges,
+                                       tmp_path_factory):
+        import math
+        import random as _random
+
+        from repro.core import brute_force_search
+        from repro.datasets import POI, POICollection
+
+        col = POICollection([POI.make(i, x, y, ks)
+                             for i, (x, y, ks) in enumerate(rows)])
+        index = DesksIndex(col, num_bands=bands, num_wedges=wedges)
+        directory = tmp_path_factory.mktemp("prt") / "idx"
+        save_index(index, str(directory))
+        loaded = load_index(str(directory))
+        searcher = DesksSearcher(loaded)
+        rng = _random.Random(1)
+        for _ in range(5):
+            a = rng.uniform(0, 2 * math.pi)
+            q = DirectionalQuery.make(
+                rng.uniform(0, 50), rng.uniform(0, 50),
+                a, a + rng.uniform(0.1, 6.0),
+                rng.sample("abcd", rng.randint(1, 2)), 5)
+            assert searcher.search(q).distances() == pytest.approx(
+                brute_force_search(loaded.collection, q).distances())
+
+    def test_missing_anchor_file(self, saved, tmp_path):
+        import shutil
+
+        _, _, directory = saved
+        copy = tmp_path / "noanchor"
+        shutil.copytree(directory, copy)
+        (copy / "anchor2.bin").unlink()
+        with pytest.raises(FileNotFoundError):
+            load_index(str(copy))
+
+    def test_corrupt_anchor_blob(self, saved, tmp_path):
+        import shutil
+
+        _, _, directory = saved
+        copy = tmp_path / "corrupt"
+        shutil.copytree(directory, copy)
+        (copy / "anchor1.bin").write_bytes(b"\x07garbage")
+        with pytest.raises(ValueError):
+            load_index(str(copy))

@@ -1,0 +1,78 @@
+"""Tests for the query and result types."""
+
+import math
+
+import pytest
+
+from repro.core import DirectionalQuery, QueryResult, ResultEntry
+from repro.geometry import DirectionInterval, Point
+
+
+class TestDirectionalQuery:
+    def test_make(self):
+        q = DirectionalQuery.make(1, 2, 0.0, 1.0, ["cafe"], k=5)
+        assert q.location == Point(1, 2)
+        assert q.interval.lower == 0.0
+        assert q.keywords == frozenset({"cafe"})
+        assert q.k == 5
+
+    def test_k_validation(self):
+        with pytest.raises(ValueError):
+            DirectionalQuery.make(0, 0, 0, 1, ["a"], k=0)
+
+    def test_keywords_required(self):
+        with pytest.raises(ValueError):
+            DirectionalQuery.make(0, 0, 0, 1, [], k=1)
+
+    def test_undirected(self):
+        q = DirectionalQuery.undirected(0, 0, ["a"])
+        assert q.interval.is_full
+
+    def test_with_interval(self):
+        q = DirectionalQuery.make(0, 0, 0, 1, ["a"])
+        q2 = q.with_interval(DirectionInterval(1, 2))
+        assert q2.interval.lower == 1
+        assert q2.keywords == q.keywords
+        assert q.interval.lower == 0  # original untouched
+
+    def test_basic_subqueries_single_quadrant(self):
+        q = DirectionalQuery.make(0, 0, 0.1, 1.0, ["a"])
+        assert len(q.basic_subqueries()) == 1
+
+    def test_basic_subqueries_complex(self):
+        q = DirectionalQuery.make(0, 0, 0.1, 0.1 + 1.9 * math.pi, ["a"])
+        assert len(q.basic_subqueries()) == 4
+
+    def test_accepts_direction(self):
+        q = DirectionalQuery.make(0, 0, 0.0, math.pi / 2, ["a"])
+        assert q.accepts_direction(0.5)
+        assert not q.accepts_direction(3.0)
+
+    def test_matches_checks_keywords_and_direction(self):
+        q = DirectionalQuery.make(0, 0, 0.0, math.pi / 2, ["a"])
+        assert q.matches(Point(1, 1), frozenset({"a", "b"}))
+        assert not q.matches(Point(1, 1), frozenset({"b"}))
+        assert not q.matches(Point(-1, 1), frozenset({"a"}))
+
+    def test_matches_query_point_itself(self):
+        q = DirectionalQuery.make(2, 2, 0.0, 1.0, ["a"])
+        assert q.matches(Point(2, 2), frozenset({"a"}))
+
+
+class TestQueryResult:
+    def test_empty(self):
+        r = QueryResult()
+        assert len(r) == 0
+        assert r.kth_distance == math.inf
+        assert r.poi_ids() == []
+
+    def test_accessors(self):
+        r = QueryResult([ResultEntry(3, 1.0), ResultEntry(7, 2.0)])
+        assert r.poi_ids() == [3, 7]
+        assert r.distances() == [1.0, 2.0]
+        assert r.kth_distance == 2.0
+        assert [e.poi_id for e in r] == [3, 7]
+
+    def test_result_entry_ordering(self):
+        assert ResultEntry(5, 1.0) < ResultEntry(2, 2.0)
+        assert ResultEntry(1, 1.0) < ResultEntry(2, 1.0)

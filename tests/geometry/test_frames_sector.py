@@ -1,0 +1,211 @@
+"""Tests for canonical-frame transforms and sectors."""
+
+import math
+
+import pytest
+from hypothesis import assume, given
+from hypothesis import strategies as st
+
+from repro.geometry import (
+    HALF_PI,
+    TWO_PI,
+    Anchor,
+    CanonicalFrame,
+    DirectionInterval,
+    MBR,
+    Point,
+    Sector,
+    frames_for,
+    normalize_angle,
+)
+
+RECT = MBR(10.0, 20.0, 50.0, 44.0)
+
+coords_x = st.floats(min_value=10.0, max_value=50.0)
+coords_y = st.floats(min_value=20.0, max_value=44.0)
+world_points = st.builds(Point, coords_x, coords_y)
+any_angle = st.floats(min_value=0.0, max_value=TWO_PI - 1e-9)
+
+
+@pytest.fixture(params=list(Anchor))
+def frame(request):
+    return CanonicalFrame(request.param, RECT)
+
+
+class TestFrameBasics:
+    def test_anchor_points(self):
+        frames = frames_for(RECT)
+        assert frames[0].anchor_point == RECT.bottom_left
+        assert frames[1].anchor_point == RECT.bottom_right
+        assert frames[2].anchor_point == RECT.top_right
+        assert frames[3].anchor_point == RECT.top_left
+
+    def test_extents_invariant(self, frame):
+        assert frame.length == RECT.width
+        assert frame.height == RECT.height
+
+    def test_anchor_maps_to_origin(self, frame):
+        c = frame.to_canonical(frame.anchor_point)
+        assert c.x == pytest.approx(0.0)
+        assert c.y == pytest.approx(0.0)
+
+    def test_for_quadrant(self):
+        assert Anchor.for_quadrant(0) is Anchor.BOTTOM_LEFT
+        assert Anchor.for_quadrant(2) is Anchor.TOP_RIGHT
+        with pytest.raises(ValueError):
+            Anchor.for_quadrant(4)
+
+    @given(world_points)
+    def test_point_round_trip(self, p):
+        for frame in frames_for(RECT):
+            back = frame.from_canonical(frame.to_canonical(p))
+            assert back.x == pytest.approx(p.x, abs=1e-9)
+            assert back.y == pytest.approx(p.y, abs=1e-9)
+
+    @given(world_points)
+    def test_canonical_in_canonical_rect(self, p):
+        for frame in frames_for(RECT):
+            c = frame.to_canonical(p)
+            assert -1e-9 <= c.x <= frame.length + 1e-9
+            assert -1e-9 <= c.y <= frame.height + 1e-9
+
+    @given(world_points, world_points)
+    def test_isometry(self, a, b):
+        d = a.distance_to(b)
+        for frame in frames_for(RECT):
+            ca, cb = frame.to_canonical(a), frame.to_canonical(b)
+            assert ca.distance_to(cb) == pytest.approx(d, abs=1e-6)
+
+
+class TestDirectionMaps:
+    @given(any_angle)
+    def test_direction_round_trip(self, theta):
+        for frame in frames_for(RECT):
+            out = frame.direction_from_canonical(
+                frame.direction_to_canonical(theta))
+            assert normalize_angle(out - theta) == pytest.approx(
+                0.0, abs=1e-9) or normalize_angle(out - theta) == pytest.approx(
+                TWO_PI, abs=1e-9)
+
+    @given(world_points, world_points)
+    def test_direction_map_consistent_with_points(self, a, b):
+        assume(a.distance_to(b) > 1e-6)
+        theta = a.direction_to(b)
+        for frame in frames_for(RECT):
+            ca, cb = frame.to_canonical(a), frame.to_canonical(b)
+            expect = ca.direction_to(cb)
+            got = frame.direction_to_canonical(theta)
+            diff = normalize_angle(got - expect)
+            assert min(diff, TWO_PI - diff) < 1e-6
+
+    def test_quadrant_lands_in_first_quadrant(self):
+        # A direction inside quadrant i maps into [0, pi/2] via anchor i.
+        for q in range(4):
+            theta = q * HALF_PI + 0.3
+            frame = CanonicalFrame(Anchor.for_quadrant(q), RECT)
+            mapped = frame.direction_to_canonical(theta)
+            assert -1e-9 <= mapped <= HALF_PI + 1e-9
+
+    @given(any_angle, st.floats(min_value=0.0, max_value=TWO_PI))
+    def test_interval_map_preserves_width(self, lower, width):
+        iv = DirectionInterval(lower, lower + width)
+        for frame in frames_for(RECT):
+            assert frame.interval_to_canonical(iv).width == pytest.approx(
+                iv.width, abs=1e-9)
+
+    @given(any_angle, st.floats(min_value=1e-3, max_value=TWO_PI - 1e-3),
+           any_angle)
+    def test_interval_membership_preserved(self, lower, width, theta):
+        iv = DirectionInterval(lower, lower + width)
+        for frame in frames_for(RECT):
+            mapped_iv = frame.interval_to_canonical(iv)
+            mapped_theta = frame.direction_to_canonical(theta)
+            # Avoid boundary jitter.
+            margin = min(
+                normalize_angle(theta - iv.lower),
+                normalize_angle(iv.upper - theta))
+            if 1e-6 < margin < iv.width - 1e-6:
+                assert mapped_iv.contains(mapped_theta)
+
+    def test_basic_interval_clamps_to_quadrant(self):
+        for q in range(4):
+            frame = CanonicalFrame(Anchor.for_quadrant(q), RECT)
+            iv = DirectionInterval(q * HALF_PI, (q + 1) * HALF_PI)
+            mapped = frame.basic_interval(iv)
+            assert mapped.lower == pytest.approx(0.0, abs=1e-9)
+            assert mapped.upper == pytest.approx(HALF_PI, abs=1e-9)
+
+    def test_full_interval_maps_to_full(self):
+        for frame in frames_for(RECT):
+            assert frame.interval_to_canonical(DirectionInterval.full()).is_full
+
+
+class TestSector:
+    def test_contains_center(self):
+        s = Sector(Point(0, 0), 1.0, DirectionInterval(0.0, HALF_PI))
+        assert s.contains(Point(0, 0))
+
+    def test_contains_in_direction(self):
+        s = Sector(Point(0, 0), 10.0, DirectionInterval(0.0, HALF_PI))
+        assert s.contains(Point(1, 1))
+        assert not s.contains(Point(-1, 1))
+
+    def test_radius_excludes_far_points(self):
+        s = Sector(Point(0, 0), 1.0, DirectionInterval.full())
+        assert not s.contains(Point(2, 0))
+
+    def test_negative_radius_raises(self):
+        with pytest.raises(ValueError):
+            Sector(Point(0, 0), -1.0, DirectionInterval.full())
+
+    def test_covering_mbr_radius(self):
+        s = Sector.covering_mbr(Point(10, 20), DirectionInterval.full(), RECT)
+        assert s.radius == pytest.approx(
+            RECT.max_distance_to_point(Point(10, 20)))
+
+    @given(world_points, world_points)
+    def test_search_region_membership(self, q, p):
+        iv = DirectionInterval(0.2, 2.0)
+        s = Sector.covering_mbr(q, iv, RECT)
+        inside = s.search_region_contains(p, RECT)
+        if p != q and inside:
+            assert iv.contains(q.direction_to(p))
+
+
+class TestDecompositionFrameIntegration:
+    """Quadrant pieces must land in [0, pi/2] of their anchor's frame."""
+
+    @given(any_angle, st.floats(min_value=1e-3, max_value=TWO_PI))
+    def test_every_piece_maps_into_first_quadrant(self, lower, width):
+        iv = DirectionInterval(lower, lower + width)
+        for quadrant, piece in iv.decompose_quadrants():
+            frame = CanonicalFrame(Anchor.for_quadrant(quadrant), RECT)
+            mapped = frame.basic_interval(piece)
+            assert -1e-9 <= mapped.lower <= mapped.upper <= HALF_PI + 1e-9
+            # Width is preserved up to the quadrant clamp.
+            assert mapped.width <= piece.width + 1e-9
+
+    @given(any_angle, st.floats(min_value=1e-3, max_value=TWO_PI),
+           coords_x, coords_y, coords_x, coords_y)
+    def test_membership_preserved_through_frames(self, lower, width,
+                                                 qx, qy, px, py):
+        """A POI inside the query interval is inside some piece's mapped
+        interval when judged by canonical-frame directions."""
+        iv = DirectionInterval(lower, lower + width)
+        q, p = Point(qx, qy), Point(px, py)
+        assume(q.distance_to(p) > 1e-6)
+        theta = q.direction_to(p)
+        margin = min(normalize_angle(theta - iv.lower),
+                     normalize_angle(iv.upper - theta))
+        if not (1e-6 < margin < iv.width - 1e-6):
+            return  # boundary jitter out of scope
+        found = False
+        for quadrant, piece in iv.decompose_quadrants():
+            frame = CanonicalFrame(Anchor.for_quadrant(quadrant), RECT)
+            mapped_iv = frame.basic_interval(piece)
+            mapped_theta = frame.direction_to_canonical(theta)
+            if mapped_iv.contains(mapped_theta) or \
+                    mapped_iv.widen(1e-9, 1e-9).contains(mapped_theta):
+                found = True
+                break
+        assert found

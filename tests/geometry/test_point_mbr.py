@@ -1,0 +1,167 @@
+"""Tests for Point and MBR primitives."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geometry import MBR, Point
+
+coords = st.floats(min_value=-1e6, max_value=1e6,
+                   allow_nan=False, allow_infinity=False)
+points = st.builds(Point, coords, coords)
+
+
+class TestPoint:
+    def test_distance(self):
+        assert Point(0, 0).distance_to(Point(3, 4)) == 5.0
+
+    def test_squared_distance(self):
+        assert Point(0, 0).squared_distance_to(Point(3, 4)) == 25.0
+
+    def test_direction_east(self):
+        assert Point(1, 1).direction_to(Point(5, 1)) == 0.0
+
+    def test_direction_to_self_raises(self):
+        with pytest.raises(ValueError):
+            Point(1, 1).direction_to(Point(1, 1))
+
+    def test_translate(self):
+        assert Point(1, 2).translate(3, -1) == Point(4, 1)
+
+    def test_tuple_and_iter(self):
+        p = Point(1.5, 2.5)
+        assert p.as_tuple() == (1.5, 2.5)
+        assert tuple(p) == (1.5, 2.5)
+
+    @given(points, points)
+    def test_distance_symmetric(self, a, b):
+        assert a.distance_to(b) == pytest.approx(b.distance_to(a))
+
+    @given(points, points, points)
+    def test_triangle_inequality(self, a, b, c):
+        assert a.distance_to(c) <= a.distance_to(b) + b.distance_to(c) + 1e-6
+
+    @given(points, points)
+    def test_direction_antisymmetric(self, a, b):
+        if a != b:
+            fwd = a.direction_to(b)
+            back = b.direction_to(a)
+            diff = abs((fwd - back) % (2 * math.pi))
+            assert diff == pytest.approx(math.pi, abs=1e-6)
+
+
+class TestMBRConstruction:
+    def test_rejects_inverted(self):
+        with pytest.raises(ValueError):
+            MBR(1, 0, 0, 1)
+
+    def test_from_points(self):
+        m = MBR.from_points([Point(1, 5), Point(-2, 3), Point(4, 0)])
+        assert m == MBR(-2, 0, 4, 5)
+
+    def test_from_points_empty_raises(self):
+        with pytest.raises(ValueError):
+            MBR.from_points([])
+
+    def test_of_point(self):
+        m = MBR.of_point(Point(2, 3))
+        assert m.area() == 0.0
+        assert m.contains_point(Point(2, 3))
+
+    def test_corners(self):
+        m = MBR(0, 0, 4, 2)
+        bl, br, tr, tl = m.corners()
+        assert bl == Point(0, 0)
+        assert br == Point(4, 0)
+        assert tr == Point(4, 2)
+        assert tl == Point(0, 2)
+
+    def test_extents(self):
+        m = MBR(1, 2, 5, 4)
+        assert m.width == 4
+        assert m.height == 2
+        assert m.area() == 8
+        assert m.margin() == 6
+        assert m.diagonal == pytest.approx(math.hypot(4, 2))
+        assert m.center() == Point(3, 3)
+
+
+class TestMBRPredicates:
+    def test_contains_point_boundary(self):
+        m = MBR(0, 0, 1, 1)
+        assert m.contains_point(Point(0, 0))
+        assert m.contains_point(Point(1, 1))
+        assert not m.contains_point(Point(1.01, 0.5))
+
+    def test_contains_mbr(self):
+        outer = MBR(0, 0, 10, 10)
+        assert outer.contains_mbr(MBR(1, 1, 9, 9))
+        assert not outer.contains_mbr(MBR(5, 5, 11, 9))
+
+    def test_intersects(self):
+        a = MBR(0, 0, 2, 2)
+        assert a.intersects(MBR(1, 1, 3, 3))
+        assert a.intersects(MBR(2, 2, 3, 3))  # touching counts
+        assert not a.intersects(MBR(3, 3, 4, 4))
+
+    @given(st.lists(points, min_size=1, max_size=20))
+    def test_from_points_contains_all(self, pts):
+        m = MBR.from_points(pts)
+        for p in pts:
+            assert m.contains_point(p)
+
+
+class TestMBRCombination:
+    def test_union(self):
+        u = MBR(0, 0, 1, 1).union(MBR(2, 2, 3, 3))
+        assert u == MBR(0, 0, 3, 3)
+
+    def test_union_all(self):
+        u = MBR.union_all([MBR(0, 0, 1, 1), MBR(-1, 0, 0, 2)])
+        assert u == MBR(-1, 0, 1, 2)
+
+    def test_union_all_empty_raises(self):
+        with pytest.raises(ValueError):
+            MBR.union_all([])
+
+    def test_extend_to_point(self):
+        assert MBR(0, 0, 1, 1).extend_to_point(Point(2, -1)) == \
+            MBR(0, -1, 2, 1)
+
+    def test_enlargement(self):
+        base = MBR(0, 0, 2, 2)
+        assert base.enlargement(MBR(1, 1, 2, 2)) == 0.0
+        assert base.enlargement(MBR(0, 0, 4, 2)) == pytest.approx(4.0)
+
+    @given(st.lists(points, min_size=1, max_size=10),
+           st.lists(points, min_size=1, max_size=10))
+    def test_union_is_superset(self, pts1, pts2):
+        a = MBR.from_points(pts1)
+        b = MBR.from_points(pts2)
+        u = a.union(b)
+        assert u.contains_mbr(a) and u.contains_mbr(b)
+
+
+class TestMBRDistances:
+    def test_min_distance_inside_is_zero(self):
+        assert MBR(0, 0, 2, 2).min_distance_to_point(Point(1, 1)) == 0.0
+
+    def test_min_distance_to_side(self):
+        assert MBR(0, 0, 2, 2).min_distance_to_point(Point(3, 1)) == 1.0
+
+    def test_min_distance_to_corner(self):
+        assert MBR(0, 0, 2, 2).min_distance_to_point(Point(5, 6)) == 5.0
+
+    def test_max_distance(self):
+        assert MBR(0, 0, 3, 4).max_distance_to_point(Point(0, 0)) == 5.0
+
+    @given(points, st.lists(points, min_size=2, max_size=10))
+    def test_min_max_bracket_actual_distances(self, q, pts):
+        m = MBR.from_points(pts)
+        lo = m.min_distance_to_point(q)
+        hi = m.max_distance_to_point(q)
+        for p in pts:
+            d = q.distance_to(p)
+            assert lo - 1e-6 <= d <= hi + 1e-6

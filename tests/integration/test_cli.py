@@ -1,0 +1,129 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture()
+def csv_path(tmp_path):
+    path = tmp_path / "pois.csv"
+    code = main(["generate", str(path), "--pois", "300", "--terms", "200",
+                 "--terms-per-poi", "3", "--seed", "4"])
+    assert code == 0
+    return path
+
+
+class TestGenerate:
+    def test_creates_csv(self, csv_path, capsys):
+        assert csv_path.exists()
+        header = csv_path.read_text().splitlines()[0]
+        assert header == "id,x,y,keywords"
+
+    def test_preset(self, tmp_path, capsys):
+        path = tmp_path / "va.csv"
+        assert main(["generate", str(path), "--preset", "VA",
+                     "--scale", "5000"]) == 0
+        out = capsys.readouterr().out
+        assert "wrote" in out
+
+
+class TestStats:
+    def test_prints_table(self, csv_path, capsys):
+        assert main(["stats", str(csv_path)]) == 0
+        out = capsys.readouterr().out
+        assert "Total number of POIs" in out
+        assert "300" in out
+
+
+class TestQuery:
+    def test_finds_answers(self, csv_path, capsys):
+        code = main(["query", str(csv_path), "-x", "5000", "-y", "5000",
+                     "--alpha", "0", "--beta", "360",
+                     "--keywords", "restaurant", "-k", "3"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "POIs examined" in out
+
+    def test_direction_constrained(self, csv_path, capsys):
+        code = main(["query", str(csv_path), "-x", "5000", "-y", "5000",
+                     "--alpha", "0", "--beta", "45",
+                     "--keywords", "restaurant", "-k", "3",
+                     "--mode", "RD"])
+        assert code == 0
+        out = capsys.readouterr().out
+        for line in out.splitlines():
+            if "bearing=" in line:
+                bearing = float(line.split("bearing=")[1].split()[0])
+                assert 0.0 <= bearing <= 45.0 + 1e-6
+
+    def test_no_answers_message(self, csv_path, capsys):
+        code = main(["query", str(csv_path), "-x", "5000", "-y", "5000",
+                     "--keywords", "keyword-that-does-not-exist"])
+        assert code == 0
+        assert "no answers" in capsys.readouterr().out
+
+    def test_mode_flag(self, csv_path, capsys):
+        for mode in ("R", "D", "RD"):
+            assert main(["query", str(csv_path), "-x", "100", "-y", "100",
+                         "--keywords", "restaurant", "--mode", mode]) == 0
+
+
+class TestBench:
+    def test_bench_runs(self, csv_path, capsys):
+        code = main(["bench", str(csv_path), "--queries", "5",
+                     "--width", "60"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "DESKS" in out
+        assert "MIR2-tree" in out
+        assert "LkT" in out
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+
+class TestBuildAndLoad:
+    def test_build_then_query_saved_index(self, csv_path, tmp_path, capsys):
+        index_dir = tmp_path / "idx"
+        assert main(["build", str(csv_path), str(index_dir),
+                     "--bands", "3", "--wedges", "3"]) == 0
+        assert (index_dir / "meta.json").exists()
+        capsys.readouterr()
+        code = main(["query", str(index_dir), "--index",
+                     "-x", "5000", "-y", "5000",
+                     "--keywords", "restaurant", "-k", "3"])
+        assert code == 0
+        assert "POIs examined" in capsys.readouterr().out
+
+    def test_query_match_any(self, csv_path, capsys):
+        code = main(["query", str(csv_path), "-x", "5000", "-y", "5000",
+                     "--keywords", "restaurant", "nosuchword",
+                     "--match-any", "-k", "3"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "no answers" not in out
+
+
+class TestErrorHandling:
+    def test_missing_csv(self, capsys):
+        assert main(["stats", "/nonexistent/pois.csv"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_missing_index_dir(self, capsys):
+        assert main(["query", "/nonexistent/idx", "--index",
+                     "-x", "0", "-y", "0", "--keywords", "a"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_bad_csv_contents(self, tmp_path, capsys):
+        bad = tmp_path / "bad.csv"
+        bad.write_text("not,a,poi,file\n1,2\n")
+        assert main(["stats", str(bad)]) == 2
+        assert "error:" in capsys.readouterr().err

@@ -1,0 +1,98 @@
+"""End-to-end integration: dataset -> CSV -> every index -> agreement."""
+
+import math
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.baselines import FilterThenVerify, IRTree, MIR2Tree
+from repro.bench import paper_query_mix
+from repro.core import (
+    DesksIndex,
+    DesksSearcher,
+    MutableDesksIndex,
+    PruningMode,
+    brute_force_search,
+)
+from repro.datasets import SyntheticConfig, generate, load_csv, save_csv
+from repro.storage import SearchStats
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+@pytest.fixture(scope="module")
+def pipeline(tmp_path_factory):
+    """Generate, persist, reload, and index one dataset every way."""
+    collection = generate(SyntheticConfig(
+        name="e2e", num_pois=600, num_unique_terms=400,
+        avg_terms_per_poi=4.0, seed=33))
+    path = tmp_path_factory.mktemp("e2e") / "pois.csv"
+    save_csv(collection, path)
+    reloaded = load_csv(path)
+    return reloaded
+
+
+class TestFullPipeline:
+    def test_all_methods_agree_on_paper_mix(self, pipeline):
+        collection = pipeline
+        desks = DesksSearcher(DesksIndex(collection, num_bands=4,
+                                         num_wedges=4))
+        desks_disk = DesksSearcher(DesksIndex(
+            collection, num_bands=4, num_wedges=4, disk_based=True))
+        mutable = MutableDesksIndex(collection, num_bands=4, num_wedges=4)
+        baselines = [MIR2Tree(collection, fanout=10),
+                     IRTree(collection, fanout=10),
+                     FilterThenVerify(collection, fanout=10)]
+        queries = paper_query_mix(collection, per_set=4,
+                                  direction_width=math.pi / 2, k=10,
+                                  seed=9, keyword_counts=(1, 2, 3))
+        for query in queries:
+            reference = brute_force_search(collection, query).distances()
+            candidates = {
+                "desks-RD": desks.search(query, PruningMode.RD).distances(),
+                "desks-R": desks.search(query, PruningMode.R).distances(),
+                "desks-D": desks.search(query, PruningMode.D).distances(),
+                "desks-disk": desks_disk.search(query).distances(),
+                "mutable": mutable.search(query).distances(),
+            }
+            for index in baselines:
+                candidates[index.name] = index.search(query).distances()
+            for method, distances in candidates.items():
+                assert [round(d, 9) for d in distances] == \
+                    [round(d, 9) for d in reference], method
+
+    def test_stats_survive_round_trip(self, pipeline):
+        assert len(pipeline) == 600
+        assert pipeline.num_unique_terms > 0
+        assert pipeline.avg_terms_per_poi == pytest.approx(4.0, rel=0.2)
+
+    def test_effort_counters_consistent(self, pipeline):
+        """candidates_verified never exceeds pois_examined for DESKS."""
+        searcher = DesksSearcher(DesksIndex(pipeline, num_bands=4,
+                                            num_wedges=4))
+        queries = paper_query_mix(pipeline, per_set=3,
+                                  direction_width=math.pi / 3, k=5,
+                                  seed=10, keyword_counts=(1, 2))
+        for query in queries:
+            stats = SearchStats()
+            searcher.search(query, stats=stats)
+            assert stats.candidates_verified <= stats.pois_examined
+            assert stats.subregions_examined >= 0
+
+
+@pytest.mark.parametrize("script", [
+    "quickstart.py",
+    "highway_gas_stations.py",
+    "walking_atm.py",
+    "compass_rotation.py",
+    "live_city_updates.py",
+])
+def test_example_scripts_run(script):
+    """Every shipped example must execute cleanly end to end."""
+    result = subprocess.run(
+        [sys.executable, str(REPO_ROOT / "examples" / script)],
+        capture_output=True, text=True, timeout=300)
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert result.stdout.strip()

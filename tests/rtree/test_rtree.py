@@ -1,0 +1,190 @@
+"""Tests for the R-tree: construction, invariants, range and kNN queries."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import MBR, Point
+from repro.rtree import RTree, format_tree, incremental_nearest, knn
+from repro.storage import SearchStats
+
+
+def grid_points(n_side):
+    return [(Point(float(i), float(j)), i * n_side + j)
+            for i in range(n_side) for j in range(n_side)]
+
+
+def random_points(n, seed=0, extent=100.0):
+    rng = random.Random(seed)
+    return [(Point(rng.uniform(0, extent), rng.uniform(0, extent)), i)
+            for i in range(n)]
+
+
+coord = st.floats(min_value=0.0, max_value=100.0)
+point_lists = st.lists(st.tuples(coord, coord), min_size=1, max_size=120)
+
+
+class TestConstruction:
+    def test_fanout_validation(self):
+        with pytest.raises(ValueError):
+            RTree(fanout=3)
+
+    def test_empty_tree(self):
+        tree = RTree()
+        assert len(tree) == 0
+        assert tree.range_query(MBR(0, 0, 10, 10)) == []
+        assert tree.all_object_ids() == []
+        assert knn(tree, Point(0, 0), 3) == []
+
+    def test_bulk_load_small(self):
+        tree = RTree.bulk_load(grid_points(3))
+        assert len(tree) == 9
+        assert sorted(tree.all_object_ids()) == list(range(9))
+        tree.check_invariants()
+
+    def test_bulk_load_multi_level(self):
+        tree = RTree.bulk_load(grid_points(20), fanout=8)
+        assert len(tree) == 400
+        assert tree.height >= 3
+        tree.check_invariants()
+
+    def test_bulk_load_empty(self):
+        tree = RTree.bulk_load([])
+        assert len(tree) == 0
+
+    def test_insert_builds_valid_tree(self):
+        tree = RTree(fanout=6)
+        for p, oid in random_points(200, seed=1):
+            tree.insert(p, oid)
+        assert len(tree) == 200
+        tree.check_invariants()
+        assert sorted(tree.all_object_ids()) == list(range(200))
+
+    def test_insert_duplicate_locations(self):
+        tree = RTree(fanout=4)
+        for i in range(30):
+            tree.insert(Point(5.0, 5.0), i)
+        tree.check_invariants()
+        assert sorted(tree.all_object_ids()) == list(range(30))
+
+    def test_num_nodes_counts_all_levels(self):
+        tree = RTree.bulk_load(grid_points(10), fanout=5)
+        assert tree.num_nodes > 20  # 100 points, <=5 per leaf
+
+    def test_format_tree_runs(self):
+        tree = RTree.bulk_load(grid_points(4), fanout=4)
+        text = format_tree(tree.root)
+        assert "leaf" in text
+        assert "obj#" in text
+
+    def test_format_tree_max_depth(self):
+        tree = RTree.bulk_load(grid_points(10), fanout=4)
+        shallow = format_tree(tree.root, max_depth=0)
+        assert "obj#" not in shallow
+
+
+class TestRangeQuery:
+    def test_window_hits(self):
+        tree = RTree.bulk_load(grid_points(10))
+        got = sorted(tree.range_query(MBR(0, 0, 2, 2)))
+        expect = sorted(i * 10 + j for i in range(3) for j in range(3))
+        assert got == expect
+
+    def test_window_misses(self):
+        tree = RTree.bulk_load(grid_points(5))
+        assert tree.range_query(MBR(50, 50, 60, 60)) == []
+
+    @given(point_lists, coord, coord, coord, coord)
+    @settings(max_examples=30, deadline=None)
+    def test_matches_brute_force(self, raw, x1, y1, x2, y2):
+        window = MBR(min(x1, x2), min(y1, y2), max(x1, x2), max(y1, y2))
+        items = [(Point(x, y), i) for i, (x, y) in enumerate(raw)]
+        tree = RTree.bulk_load(items, fanout=4)
+        got = sorted(tree.range_query(window))
+        expect = sorted(i for p, i in items if window.contains_point(p))
+        assert got == expect
+
+
+class TestKNN:
+    def test_k_validation(self):
+        tree = RTree.bulk_load(grid_points(3))
+        with pytest.raises(ValueError):
+            knn(tree, Point(0, 0), 0)
+
+    def test_nearest_first(self):
+        tree = RTree.bulk_load(grid_points(10))
+        result = knn(tree, Point(0.1, 0.1), 3)
+        assert result[0].object_id == 0
+        assert [round(n.distance, 3) for n in result] == sorted(
+            round(n.distance, 3) for n in result)
+
+    def test_k_larger_than_dataset(self):
+        tree = RTree.bulk_load(grid_points(2))
+        assert len(knn(tree, Point(0, 0), 100)) == 4
+
+    def test_incremental_order(self):
+        tree = RTree.bulk_load(random_points(150, seed=3), fanout=6)
+        q = Point(50, 50)
+        distances = [n.distance for n in incremental_nearest(tree, q)]
+        assert len(distances) == 150
+        assert distances == sorted(distances)
+
+    def test_object_filter(self):
+        tree = RTree.bulk_load(grid_points(5))
+        evens = knn(tree, Point(0, 0), 4,
+                    object_filter=lambda oid: oid % 2 == 0)
+        assert all(n.object_id % 2 == 0 for n in evens)
+
+    def test_node_filter_prunes_subtree(self):
+        tree = RTree.bulk_load(grid_points(10), fanout=4)
+        # Reject every node: nothing can be reported.
+        assert knn(tree, Point(0, 0), 5, node_filter=lambda n: False) == []
+
+    def test_stats_counted(self):
+        tree = RTree.bulk_load(random_points(200, seed=5), fanout=8)
+        stats = SearchStats()
+        knn(tree, Point(10, 10), 5, stats=stats)
+        assert stats.nodes_examined >= 1
+        assert stats.pois_examined >= 5
+
+    @given(point_lists, coord, coord, st.integers(1, 10))
+    @settings(max_examples=30, deadline=None)
+    def test_matches_brute_force(self, raw, qx, qy, k):
+        q = Point(qx, qy)
+        items = [(Point(x, y), i) for i, (x, y) in enumerate(raw)]
+        tree = RTree.bulk_load(items, fanout=4)
+        got = knn(tree, q, k)
+        expect = sorted(q.distance_to(p) for p, _ in items)[:k]
+        assert [n.distance for n in got] == pytest.approx(expect)
+
+    @given(point_lists, st.integers(1, 8))
+    @settings(max_examples=20, deadline=None)
+    def test_insert_and_bulk_load_agree(self, raw, k):
+        items = [(Point(x, y), i) for i, (x, y) in enumerate(raw)]
+        bulk = RTree.bulk_load(items, fanout=5)
+        dyn = RTree(fanout=5)
+        for p, oid in items:
+            dyn.insert(p, oid)
+        dyn.check_invariants()
+        q = Point(50.0, 50.0)
+        d_bulk = [n.distance for n in knn(bulk, q, k)]
+        d_dyn = [n.distance for n in knn(dyn, q, k)]
+        assert d_bulk == pytest.approx(d_dyn)
+
+
+class TestStrPacking:
+    def test_leaves_well_filled(self):
+        tree = RTree.bulk_load(random_points(1000, seed=9), fanout=10)
+        leaves = [n for n in tree.iter_nodes() if n.is_leaf]
+        avg_fill = sum(len(n) for n in leaves) / len(leaves)
+        assert avg_fill >= 6  # STR packs close to capacity
+
+    def test_query_efficiency_vs_scan(self):
+        """A point query should touch far fewer nodes than the tree has."""
+        tree = RTree.bulk_load(random_points(2000, seed=11), fanout=16)
+        stats = SearchStats()
+        knn(tree, Point(50, 50), 1, stats=stats)
+        assert stats.nodes_examined < tree.num_nodes / 4

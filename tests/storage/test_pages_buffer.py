@@ -1,0 +1,199 @@
+"""Tests for page stores and the LRU buffer pool."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.storage import (
+    BufferPool,
+    FilePageStore,
+    IOStats,
+    InMemoryPageStore,
+)
+
+
+@pytest.fixture(params=["memory", "file"])
+def store(request, tmp_path):
+    if request.param == "memory":
+        s = InMemoryPageStore(page_size=64)
+    else:
+        s = FilePageStore(str(tmp_path / "pages.bin"), page_size=64)
+    yield s
+    s.close()
+
+
+class TestPageStore:
+    def test_allocate_sequential_ids(self, store):
+        assert store.allocate() == 0
+        assert store.allocate() == 1
+        assert store.num_pages == 2
+
+    def test_fresh_page_zeroed(self, store):
+        pid = store.allocate()
+        assert store.read_page(pid) == bytes(64)
+
+    def test_write_read_round_trip(self, store):
+        pid = store.allocate()
+        store.write_page(pid, b"hello")
+        data = store.read_page(pid)
+        assert data[:5] == b"hello"
+        assert data[5:] == bytes(59)
+
+    def test_full_page_round_trip(self, store):
+        pid = store.allocate()
+        payload = bytes(range(64))
+        store.write_page(pid, payload)
+        assert store.read_page(pid) == payload
+
+    def test_oversized_write_rejected(self, store):
+        pid = store.allocate()
+        with pytest.raises(ValueError):
+            store.write_page(pid, bytes(65))
+
+    def test_bad_page_id_rejected(self, store):
+        with pytest.raises(IndexError):
+            store.read_page(0)
+        store.allocate()
+        with pytest.raises(IndexError):
+            store.read_page(5)
+        with pytest.raises(IndexError):
+            store.write_page(-1, b"")
+
+    def test_io_stats_counted(self, store):
+        pid = store.allocate()
+        store.write_page(pid, b"x")
+        store.read_page(pid)
+        store.read_page(pid)
+        assert store.stats.physical_writes == 1
+        assert store.stats.physical_reads == 2
+
+    def test_invalid_page_size(self):
+        with pytest.raises(ValueError):
+            InMemoryPageStore(page_size=0)
+
+    @given(st.lists(st.binary(max_size=64), min_size=1, max_size=20))
+    def test_many_pages_round_trip(self, payloads):
+        with InMemoryPageStore(page_size=64) as s:
+            ids = []
+            for p in payloads:
+                pid = s.allocate()
+                s.write_page(pid, p)
+                ids.append(pid)
+            for pid, p in zip(ids, payloads):
+                assert s.read_page(pid)[:len(p)] == p
+
+
+class TestFilePageStore:
+    def test_unlink_removes_file(self, tmp_path):
+        path = tmp_path / "u.bin"
+        s = FilePageStore(str(path), page_size=32)
+        s.allocate()
+        assert path.exists()
+        s.unlink()
+        assert not path.exists()
+
+
+class TestBufferPool:
+    def test_read_through_then_hit(self):
+        store = InMemoryPageStore(page_size=32)
+        pool = BufferPool(store, capacity=4)
+        pid = pool.allocate()
+        pool.write_page(pid, b"abc")
+        pool.flush()
+        store.stats.reset()
+        pool.clear()
+        pool.read_page(pid)   # miss
+        pool.read_page(pid)   # hit
+        assert store.stats.physical_reads == 1
+        assert store.stats.cache_hits == 1
+        assert store.stats.logical_reads == 2
+
+    def test_write_back_on_eviction(self):
+        store = InMemoryPageStore(page_size=32)
+        pool = BufferPool(store, capacity=2)
+        ids = [pool.allocate() for _ in range(3)]
+        for i, pid in enumerate(ids):
+            pool.write_page(pid, bytes([i + 1]))
+        # Capacity 2: writing the third page evicts the first (dirty).
+        assert store.read_page(ids[0])[0] == 1
+
+    def test_lru_order(self):
+        store = InMemoryPageStore(page_size=32)
+        pool = BufferPool(store, capacity=2)
+        a, b, c = (pool.allocate() for _ in range(3))
+        pool.write_page(a, b"a")
+        pool.write_page(b, b"b")
+        pool.read_page(a)          # a most-recent; b is LRU
+        pool.write_page(c, b"c")   # evicts b
+        store.stats.reset()
+        pool.read_page(a)          # hit
+        pool.read_page(b)          # miss
+        assert store.stats.cache_hits == 1
+        assert store.stats.physical_reads == 1
+
+    def test_flush_writes_dirty_only_once(self):
+        store = InMemoryPageStore(page_size=32)
+        pool = BufferPool(store, capacity=4)
+        pid = pool.allocate()
+        pool.write_page(pid, b"z")
+        pool.flush()
+        writes = store.stats.physical_writes
+        pool.flush()  # nothing dirty now
+        assert store.stats.physical_writes == writes
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            BufferPool(InMemoryPageStore(), capacity=0)
+
+    def test_oversized_write_rejected(self):
+        pool = BufferPool(InMemoryPageStore(page_size=16), capacity=2)
+        pool.allocate()
+        with pytest.raises(ValueError):
+            pool.write_page(0, bytes(17))
+
+    def test_close_flushes(self):
+        store = InMemoryPageStore(page_size=32)
+        with BufferPool(store, capacity=4) as pool:
+            pid = pool.allocate()
+            pool.write_page(pid, b"q")
+        assert store.stats.physical_writes >= 1
+
+    @given(st.lists(st.tuples(st.integers(0, 9), st.binary(max_size=32)),
+                    min_size=1, max_size=60))
+    def test_pool_semantics_match_direct_store(self, ops):
+        """The pool must be a transparent cache: same contents as no cache."""
+        mirror = {}
+        store = InMemoryPageStore(page_size=32)
+        pool = BufferPool(store, capacity=3)
+        for _ in range(10):
+            pool.allocate()
+        for slot, payload in ops:
+            pool.write_page(slot, payload)
+            mirror[slot] = payload + bytes(32 - len(payload))
+        for slot, expect in mirror.items():
+            assert pool.read_page(slot) == expect
+        pool.flush()
+        for slot, expect in mirror.items():
+            assert store.read_page(slot) == expect
+
+
+class TestIOStats:
+    def test_snapshot_delta(self):
+        stats = IOStats()
+        stats.record_read(hit=False)
+        before = stats.snapshot()
+        stats.record_read(hit=True)
+        stats.record_write()
+        delta = before.delta(stats.snapshot())
+        assert delta.physical_reads == 0
+        assert delta.cache_hits == 1
+        assert delta.physical_writes == 1
+        assert delta.logical_reads == 1
+
+    def test_reset(self):
+        stats = IOStats()
+        stats.record_read(hit=False)
+        stats.record_write()
+        stats.reset()
+        assert stats.logical_reads == 0
+        assert stats.physical_writes == 0

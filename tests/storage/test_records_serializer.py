@@ -1,0 +1,183 @@
+"""Tests for varint serialization and the record file."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.storage import (
+    InMemoryPageStore,
+    RecordFile,
+    RecordPointer,
+    decode_floats,
+    decode_sorted_ids,
+    decode_uint_list,
+    decode_varint,
+    encode_floats,
+    encode_sorted_ids,
+    encode_uint_list,
+    encode_varint,
+)
+
+
+class TestVarint:
+    @pytest.mark.parametrize("value,encoded", [
+        (0, b"\x00"), (1, b"\x01"), (127, b"\x7f"),
+        (128, b"\x80\x01"), (300, b"\xac\x02"),
+    ])
+    def test_known_encodings(self, value, encoded):
+        assert encode_varint(value) == encoded
+        assert decode_varint(encoded) == (value, len(encoded))
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            encode_varint(-1)
+
+    def test_truncated_rejected(self):
+        with pytest.raises(ValueError):
+            decode_varint(b"\x80")
+
+    def test_overlong_rejected(self):
+        with pytest.raises(ValueError):
+            decode_varint(b"\xff" * 11)
+
+    @given(st.integers(min_value=0, max_value=2**60))
+    def test_round_trip(self, value):
+        data = encode_varint(value)
+        assert decode_varint(data) == (value, len(data))
+
+    @given(st.integers(0, 2**40), st.integers(0, 2**40))
+    def test_concatenation(self, a, b):
+        data = encode_varint(a) + encode_varint(b)
+        va, off = decode_varint(data)
+        vb, end = decode_varint(data, off)
+        assert (va, vb, end) == (a, b, len(data))
+
+
+class TestIdListCodecs:
+    def test_sorted_round_trip(self):
+        ids = [3, 3, 7, 100, 100000]
+        data = encode_sorted_ids(ids)
+        assert decode_sorted_ids(data) == (ids, len(data))
+
+    def test_empty(self):
+        assert decode_sorted_ids(encode_sorted_ids([])) == ([], 1)
+
+    def test_unsorted_rejected(self):
+        with pytest.raises(ValueError):
+            encode_sorted_ids([5, 3])
+
+    def test_delta_compression_effective(self):
+        # Dense sorted ids compress to ~1 byte each.
+        ids = list(range(1000, 2000))
+        assert len(encode_sorted_ids(ids)) < 1100
+
+    @given(st.lists(st.integers(0, 2**40)))
+    def test_sorted_round_trip_property(self, raw):
+        ids = sorted(raw)
+        data = encode_sorted_ids(ids)
+        assert decode_sorted_ids(data)[0] == ids
+
+    @given(st.lists(st.integers(0, 2**40)))
+    def test_uint_list_round_trip(self, values):
+        data = encode_uint_list(values)
+        assert decode_uint_list(data) == (values, len(data))
+
+    @given(st.lists(st.floats(allow_nan=False, allow_infinity=False,
+                              width=64)))
+    def test_floats_round_trip(self, values):
+        data = encode_floats(values)
+        assert decode_floats(data) == (values, len(data))
+
+    def test_floats_truncated_rejected(self):
+        data = encode_floats([1.0, 2.0])
+        with pytest.raises(ValueError):
+            decode_floats(data[:-1])
+
+
+class TestRecordFile:
+    def make(self, page_size=32):
+        return RecordFile(InMemoryPageStore(page_size=page_size))
+
+    def test_round_trip_small(self):
+        rf = self.make()
+        ptr = rf.append(b"hello")
+        assert rf.read(ptr) == b"hello"
+
+    def test_round_trip_spanning_pages(self):
+        rf = self.make(page_size=16)
+        payload = bytes(range(100))
+        ptr = rf.append(payload)
+        assert rf.read(ptr) == payload
+
+    def test_multiple_records_packed(self):
+        rf = self.make(page_size=32)
+        ptrs = [rf.append(bytes([i]) * 10) for i in range(5)]
+        for i, ptr in enumerate(ptrs):
+            assert rf.read(ptr) == bytes([i]) * 10
+        # 50 bytes fit in 2 pages of 32.
+        assert rf.size_in_pages == 2
+
+    def test_empty_record(self):
+        rf = self.make()
+        ptr = rf.append(b"")
+        assert ptr.length == 0
+        assert rf.read(ptr) == b""
+
+    def test_read_past_end_rejected(self):
+        rf = self.make()
+        rf.append(b"abc")
+        with pytest.raises(ValueError):
+            rf.read(RecordPointer(0, 100))
+
+    def test_read_span(self):
+        rf = self.make(page_size=16)
+        p1 = rf.append(b"aaaa")
+        p2 = rf.append(b"bbbb")
+        combined = rf.read_span(p1, p2.offset + p2.length)
+        assert combined == b"aaaabbbb"
+
+    def test_read_span_backwards_rejected(self):
+        rf = self.make()
+        p1 = rf.append(b"abc")
+        with pytest.raises(ValueError):
+            rf.read_span(RecordPointer(2, 0), 1)
+
+    def test_io_accounting_proportional_to_span(self):
+        rf = self.make(page_size=32)
+        small = rf.append(b"x" * 8)
+        big = rf.append(b"y" * 300)
+        rf.flush()
+        rf.drop_cache()
+        rf.stats.reset()
+        rf.read(small)
+        small_reads = rf.stats.logical_reads
+        rf.drop_cache()
+        rf.stats.reset()
+        rf.read(big)
+        big_reads = rf.stats.logical_reads
+        assert small_reads == 1
+        assert big_reads >= 10  # 300 bytes over 32-byte pages
+
+    def test_invalid_pointer_rejected(self):
+        with pytest.raises(ValueError):
+            RecordPointer(-1, 0)
+
+    @given(st.lists(st.binary(min_size=0, max_size=200),
+                    min_size=1, max_size=30))
+    def test_many_records_round_trip(self, payloads):
+        rf = self.make(page_size=16)
+        ptrs = [rf.append(p) for p in payloads]
+        rf.flush()
+        rf.drop_cache()
+        for ptr, p in zip(ptrs, payloads):
+            assert rf.read(ptr) == p
+
+    def test_persists_through_file_store(self, tmp_path):
+        from repro.storage import FilePageStore
+        store = FilePageStore(str(tmp_path / "rec.bin"), page_size=32)
+        rf = RecordFile(store)
+        ptr = rf.append(b"durable" * 20)
+        rf.flush()
+        rf.drop_cache()
+        assert rf.read(ptr) == b"durable" * 20
+        rf.close()
