@@ -38,27 +38,41 @@ from .core import (
 )
 from .datasets import POI, POICollection
 from .geometry import DirectionInterval, Point
+from .service import (
+    Deadline,
+    MetricsRegistry,
+    QueryEngine,
+    ResultCache,
+    ServiceResponse,
+    run_closed_loop,
+)
 
 __version__ = "1.0.0"
 
 __all__ = [
     "CardinalityEstimator",
+    "Deadline",
     "DesksIndex",
     "DesksSearcher",
     "DirectionInterval",
     "DirectionalQuery",
     "IncrementalSearcher",
     "MatchMode",
+    "MetricsRegistry",
     "MutableDesksIndex",
     "POI",
     "POICollection",
     "Point",
     "PruningMode",
+    "QueryEngine",
     "QueryResult",
     "QueryTrace",
+    "ResultCache",
     "ResultEntry",
+    "ServiceResponse",
     "brute_force_search",
     "load_index",
+    "run_closed_loop",
     "save_index",
     "__version__",
 ]

@@ -9,7 +9,7 @@ from .runner import (
     desks_search_fn,
     run_workload,
 )
-from .workloads import generate_queries, paper_query_mix
+from .workloads import generate_queries, paper_query_mix, repeated_stream
 
 __all__ = [
     "RunMeasurement",
@@ -21,6 +21,7 @@ __all__ = [
     "format_series_table",
     "generate_queries",
     "paper_query_mix",
+    "repeated_stream",
     "run_workload",
     "speedup",
     "write_result",

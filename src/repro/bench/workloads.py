@@ -54,6 +54,28 @@ def generate_queries(collection: POICollection, count: int,
     return queries
 
 
+def repeated_stream(queries: Sequence[DirectionalQuery], repeats: int,
+                    seed: Optional[int] = 0) -> List[DirectionalQuery]:
+    """A cache-warm serving stream: ``queries`` replayed ``repeats`` times.
+
+    Serving workloads are repetitive — popular places get asked about over
+    and over — which is exactly what a result cache exploits.  Each repeat
+    is independently shuffled (deterministically from ``seed``) so repeats
+    don't arrive in lockstep order; ``seed=None`` keeps the plain
+    concatenated order.
+    """
+    if repeats <= 0:
+        raise ValueError(f"repeats must be positive, got {repeats}")
+    stream: List[DirectionalQuery] = []
+    rng = random.Random(seed) if seed is not None else None
+    for _ in range(repeats):
+        block = list(queries)
+        if rng is not None:
+            rng.shuffle(block)
+        stream.extend(block)
+    return stream
+
+
 def paper_query_mix(collection: POICollection, per_set: int,
                     direction_width: float, k: int = 10, seed: int = 0,
                     alpha: Optional[float] = None,

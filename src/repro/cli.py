@@ -14,12 +14,17 @@ Commands
     a CSV or loading a saved one with ``--index``.
 ``bench``
     Quick single-machine comparison of DESKS vs the baselines on a CSV.
+``serve-bench``
+    Drive the concurrent serving layer (:mod:`repro.service`) with a
+    closed-loop multi-client workload, sweeping client counts and
+    printing QPS / cache-hit-rate / tail-latency per step.
 """
 
 from __future__ import annotations
 
 import argparse
 import math
+import random
 import sys
 import time
 from typing import List, Optional
@@ -103,6 +108,39 @@ def build_parser() -> argparse.ArgumentParser:
                          help="direction width in degrees")
     p_bench.add_argument("-k", type=int, default=10)
     p_bench.add_argument("--seed", type=int, default=0)
+
+    p_serve = sub.add_parser(
+        "serve-bench",
+        help="closed-loop load test of the concurrent serving layer")
+    p_serve.add_argument("input", help="POI CSV path")
+    p_serve.add_argument("--clients", type=int, nargs="+",
+                         default=[1, 2, 4, 8],
+                         help="client counts to sweep (default: 1 2 4 8)")
+    p_serve.add_argument("--requests", type=int, default=200,
+                         help="requests per client per step (default 200)")
+    p_serve.add_argument("--queries", type=int, default=50,
+                         help="distinct queries in the workload")
+    p_serve.add_argument("--repeats", type=int, default=4,
+                         help="replays of the query set (cache warmth)")
+    p_serve.add_argument("--keywords", type=int, default=2,
+                         help="keywords per generated query")
+    p_serve.add_argument("--width", type=float, default=60.0,
+                         help="direction width in degrees")
+    p_serve.add_argument("-k", type=int, default=10)
+    p_serve.add_argument("--workers", type=int, default=8,
+                         help="engine worker threads")
+    p_serve.add_argument("--cache", type=int, default=1024,
+                         help="result-cache capacity (entries)")
+    p_serve.add_argument("--timeout-ms", type=float, default=None,
+                         help="per-query deadline (graceful degradation)")
+    p_serve.add_argument("--think-ms", type=float, default=2.0,
+                         help="client think time between requests")
+    p_serve.add_argument("--inserts", type=int, default=0,
+                         help="POIs inserted between sweep steps "
+                              "(exercises cache invalidation)")
+    p_serve.add_argument("--seed", type=int, default=0)
+    p_serve.add_argument("--metrics", action="store_true",
+                         help="dump the full metrics registry at the end")
     return parser
 
 
@@ -202,12 +240,54 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve_bench(args: argparse.Namespace) -> int:
+    from .bench import generate_queries, repeated_stream
+    from .core import MutableDesksIndex
+    from .service import QueryEngine, run_closed_loop
+
+    collection = load_csv(args.input)
+    base = generate_queries(
+        collection, args.queries, num_keywords=args.keywords,
+        direction_width=math.radians(args.width), k=args.k, seed=args.seed)
+    stream = repeated_stream(base, args.repeats, seed=args.seed)
+    index = MutableDesksIndex(collection)
+    timeout = (args.timeout_ms / 1000.0
+               if args.timeout_ms is not None else None)
+    rng = random.Random(args.seed)
+    mbr = collection.mbr
+    with QueryEngine(index, num_workers=args.workers,
+                     cache_capacity=args.cache,
+                     default_timeout=timeout) as engine:
+        print(f"{len(collection)} POIs, {len(base)} distinct queries x "
+              f"{args.repeats} repeats, {args.requests} req/client, "
+              f"think={args.think_ms:.1f} ms")
+        for num_clients in args.clients:
+            report = run_closed_loop(
+                engine, stream, num_clients,
+                requests_per_client=args.requests,
+                think_time=args.think_ms / 1000.0)
+            print(report.summary())
+            if report.first_error:
+                print(f"  first error: {report.first_error}",
+                      file=sys.stderr)
+                return 1
+            for _ in range(args.inserts):
+                index.insert(rng.uniform(mbr.min_x, mbr.max_x),
+                             rng.uniform(mbr.min_y, mbr.max_y),
+                             ["serve", "bench"])
+        if args.metrics:
+            print()
+            print(engine.metrics.render())
+    return 0
+
+
 _COMMANDS = {
     "generate": _cmd_generate,
     "stats": _cmd_stats,
     "build": _cmd_build,
     "query": _cmd_query,
     "bench": _cmd_bench,
+    "serve-bench": _cmd_serve_bench,
 }
 
 

@@ -21,7 +21,7 @@ from .mindist import (
 )
 from .query import DirectionalQuery, MatchMode, QueryResult, ResultEntry
 from .regions import AnchorRegions, Band, Subregion
-from .search import DesksSearcher, PruningMode
+from .search import DesksSearcher, PruningMode, SupportsExpired
 from .trace import BandTrace, QueryTrace, SubqueryTrace
 from .stores import (
     CompressedDiskKeywordStore,
@@ -53,6 +53,7 @@ __all__ = [
     "SubqueryTrace",
     "ResultEntry",
     "Subregion",
+    "SupportsExpired",
     "annulus_mindist",
     "band_mindist",
     "basic_geometry",

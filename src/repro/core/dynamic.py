@@ -13,17 +13,32 @@ main-plus-delta design databases reach for in this situation:
 
 Queries remain exact at every moment; amortised insert cost is O(1) plus
 the periodic rebuild, the classic LSM-style trade.
+
+For the serving layer (:mod:`repro.service`) the index additionally keeps a
+monotonically increasing **generation** counter, bumped by every successful
+insert, delete, and rebuild.  A result cache tags each cached answer with
+the generation it was computed under and refuses to serve it once the
+counter has moved — the invalidation contract that makes caching safe over
+a mutating index.  ``subscribe()`` registers callbacks fired (with the new
+generation) after each mutation, so caches can also purge eagerly.
+
+Updates are serialised by an internal lock; queries take a consistent
+snapshot of ``(searcher, delta, tombstones)`` under that lock and then run
+lock-free, so concurrent readers never block each other and a rebuild
+mid-query simply means that query answers against the pre-rebuild (still
+exact) state.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Set
+import threading
+from typing import Callable, Iterable, List, Optional, Set
 
 from ..datasets import POI, POICollection
 from ..storage import SearchStats
 from .index import DesksIndex
 from .query import DirectionalQuery, QueryResult, ResultEntry
-from .search import DesksSearcher, PruningMode
+from .search import DesksSearcher, PruningMode, SupportsExpired
 
 
 class MutableDesksIndex:
@@ -42,6 +57,9 @@ class MutableDesksIndex:
         self._delta: List[POI] = []
         self._deleted: Set[int] = set()
         self.rebuild_count = 0
+        self._generation = 0
+        self._listeners: List[Callable[[int], None]] = []
+        self._lock = threading.RLock()
         self._build(collection)
 
     def _build(self, collection: POICollection) -> None:
@@ -61,6 +79,35 @@ class MutableDesksIndex:
         """Inserts waiting in the delta buffer."""
         return len(self._delta)
 
+    @property
+    def io_stats(self):
+        """The current static index's I/O counters (resets on rebuild)."""
+        return self._index.io_stats
+
+    @property
+    def generation(self) -> int:
+        """Monotonic mutation counter; bumped by insert/delete/rebuild.
+
+        Two searches bracketed by equal generations saw the same data, so
+        any answer computed at generation ``g`` may be served from a cache
+        while ``generation == g`` still holds.
+        """
+        return self._generation
+
+    def subscribe(self, listener: Callable[[int], None]) -> None:
+        """Register a callback invoked (with the new generation) after
+        every mutation.  Callbacks run on the mutating thread and must be
+        cheap and non-raising; they exist so result caches can invalidate
+        eagerly instead of only on their next lookup."""
+        with self._lock:
+            self._listeners.append(listener)
+
+    def _bump_generation(self) -> None:
+        # Caller holds self._lock.
+        self._generation += 1
+        for listener in self._listeners:
+            listener(self._generation)
+
     def __len__(self) -> int:
         return (len(self.collection) + len(self._delta)
                 - len(self._deleted))
@@ -73,30 +120,35 @@ class MutableDesksIndex:
         Delta ids continue the static collection's id space, so ids remain
         unique across rebuilds within this wrapper.
         """
-        poi_id = len(self.collection) + len(self._delta)
-        self._delta.append(POI.make(poi_id, x, y, keywords))
-        if len(self._delta) > self.rebuild_threshold * max(
-                len(self.collection), 1):
-            self._rebuild()
-        return poi_id
+        with self._lock:
+            poi_id = len(self.collection) + len(self._delta)
+            self._delta.append(POI.make(poi_id, x, y, keywords))
+            if len(self._delta) > self.rebuild_threshold * max(
+                    len(self.collection), 1):
+                self._rebuild()
+            self._bump_generation()
+            return poi_id
 
     def delete(self, poi_id: int) -> bool:
         """Tombstone a POI; returns False when the id is unknown/deleted."""
-        if poi_id in self._deleted:
-            return False
-        total = len(self.collection) + len(self._delta)
-        if not 0 <= poi_id < total:
-            return False
-        self._deleted.add(poi_id)
-        # Tombstones inflate the static index's effective k (see search);
-        # absorb them once they pile up, like the insert path does.
-        if (len(self._deleted) > self.rebuild_threshold
-                * max(len(self.collection), 1) and len(self) > 0):
-            self._rebuild()
-        return True
+        with self._lock:
+            if poi_id in self._deleted:
+                return False
+            total = len(self.collection) + len(self._delta)
+            if not 0 <= poi_id < total:
+                return False
+            self._deleted.add(poi_id)
+            # Tombstones inflate the static index's effective k (see
+            # search); absorb them once they pile up, like the insert path.
+            if (len(self._deleted) > self.rebuild_threshold
+                    * max(len(self.collection), 1) and len(self) > 0):
+                self._rebuild()
+            self._bump_generation()
+            return True
 
     def _rebuild(self) -> None:
         """Merge delta and tombstones into a fresh static index."""
+        # Caller holds self._lock.
         survivors = [
             POI.make(new_id, poi.location.x, poi.location.y, poi.keywords)
             for new_id, poi in enumerate(
@@ -115,22 +167,36 @@ class MutableDesksIndex:
 
     def search(self, query: DirectionalQuery,
                mode: PruningMode = PruningMode.RD,
-               stats: Optional[SearchStats] = None) -> QueryResult:
-        """Exact top-k over static index + delta buffer - tombstones."""
-        if self._deleted:
+               stats: Optional[SearchStats] = None,
+               deadline: Optional[SupportsExpired] = None) -> QueryResult:
+        """Exact top-k over static index + delta buffer - tombstones.
+
+        Safe to call from many threads at once: the method snapshots the
+        searcher/delta/tombstone trio under the update lock, then runs
+        against those immutable references.  ``deadline`` is forwarded to
+        the indexed search; an expired deadline yields ``partial=True``
+        (the delta scan is a cheap linear pass and always completes).
+        """
+        with self._lock:
+            searcher = self._searcher
+            delta = self._delta
+            deleted = set(self._deleted) if self._deleted else self._deleted
+        if deleted:
             # Tombstones may knock answers out of the static top-k; ask the
             # static index for enough extras to guarantee k live results.
             inflated = DirectionalQuery(query.location, query.interval,
                                         query.keywords,
-                                        query.k + len(self._deleted),
+                                        query.k + len(deleted),
                                         query.match_mode)
-            indexed = self._searcher.search(inflated, mode, stats)
+            indexed = searcher.search(inflated, mode, stats,
+                                      deadline=deadline)
         else:
-            indexed = self._searcher.search(query, mode, stats)
-        merged = [e for e in indexed.entries
-                  if e.poi_id not in self._deleted]
-        for poi in self._delta:
-            if poi.poi_id in self._deleted:
+            indexed = searcher.search(query, mode, stats, deadline=deadline)
+        merged = [e for e in indexed.entries if e.poi_id not in deleted]
+        # len(delta) is captured once: concurrent inserts appending to the
+        # same list are simply not part of this query's snapshot.
+        for poi in delta[:len(delta)]:
+            if poi.poi_id in deleted:
                 continue
             if stats is not None:
                 stats.pois_examined += 1
@@ -139,7 +205,7 @@ class MutableDesksIndex:
             merged.append(ResultEntry(
                 poi.poi_id, query.location.distance_to(poi.location)))
         merged.sort()
-        return QueryResult(merged[:query.k])
+        return QueryResult(merged[:query.k], partial=indexed.partial)
 
     def live_pois(self) -> List[POI]:
         """All currently visible POIs (static + delta, minus tombstones)."""

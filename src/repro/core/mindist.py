@@ -33,6 +33,15 @@ from ..geometry import (
 
 INF = math.inf
 
+#: Slack added to the Lemma 2/4 direction windows before pruning.  POI
+#: anchor angles and the query geometry's angles are computed by different
+#: code paths (vectorised index build vs. per-query ``math`` calls), so two
+#: mathematically equal angles can differ by an ulp — enough for an exact
+#: window to drop a POI sitting precisely on its edge (e.g. a POI at the
+#: query location).  Widening is always sound here: a looser direction
+#: window admits extra sub-regions to *verify*, never wrong answers.
+TAU_SLACK = 1e-9
+
 
 def polar_point(radius: float, theta: float) -> Point:
     """The point at polar coordinates ``(radius, theta)`` about the origin."""
@@ -102,7 +111,12 @@ class BasicQueryGeometry:
         hi = self.q_theta
         if self.theta_exit_beta is not None:
             hi = max(hi, self.theta_exit_beta)
-        return (max(lo, 0.0), min(hi, HALF_PI))
+        if self.qd == 0.0:
+            # A query at the anchor corner: a POI co-located with it is an
+            # answer regardless of direction, but its anchor angle is stored
+            # as the atan2(0, 0) = 0 convention — admit it.
+            lo = 0.0
+        return (max(lo - TAU_SLACK, 0.0), min(hi + TAU_SLACK, HALF_PI))
 
     # -- Eqs. 5-6 / Lemma 4: per-band direction bounds -------------------------
 
@@ -142,7 +156,9 @@ class BasicQueryGeometry:
                 hi = max(hi, self.q_theta)
             else:
                 hi = region_hi
-        return (max(lo, 0.0), min(hi, HALF_PI))
+        if self.qd == 0.0:
+            lo = 0.0  # anchor-resident POIs carry the theta = 0 convention
+        return (max(lo - TAU_SLACK, 0.0), min(hi + TAU_SLACK, HALF_PI))
 
     def _in_rect(self, p: Point) -> bool:
         return (-1e-9 <= p.x <= self.length + 1e-9

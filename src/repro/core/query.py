@@ -10,7 +10,13 @@ from dataclasses import dataclass, field
 from enum import Enum
 from typing import FrozenSet, Iterable, List, Tuple
 
-from ..geometry import DirectionInterval, Point
+from ..geometry import TWO_PI, DirectionInterval, Point
+
+#: Decimal places kept when canonicalizing angles.  Directions come out of
+#: ``atan2`` with a few ULPs of noise; ten decimals (~1e-10 rad) is far below
+#: any meaningful angular width yet collapses that noise so that two
+#: mathematically equal intervals produce one cache key.
+_ANGLE_DECIMALS = 10
 
 
 class MatchMode(Enum):
@@ -90,6 +96,35 @@ class DirectionalQuery:
             return True
         return self.accepts_direction(self.location.direction_to(location))
 
+    def canonical_key(self, location_quantum: float = 0.0) -> Tuple:
+        """A stable, hashable identity for result caching and batch dedupe.
+
+        Two queries with the same answer set map to the same key even when
+        they were built differently: keywords become a sorted tuple, the
+        interval is normalized to a ``(lower in [0, 2*pi), width)`` pair
+        rounded to collapse float noise, and every full-circle interval
+        collapses to the same representation regardless of where its bounds
+        sit.  ``location_quantum > 0`` snaps the location onto a grid of
+        that cell size, letting a cache trade exactness for hit rate
+        (nearby queries share an answer); the default ``0.0`` keys on the
+        exact coordinates.
+        """
+        if location_quantum < 0.0:
+            raise ValueError(
+                f"location_quantum must be non-negative: {location_quantum}")
+        if location_quantum > 0.0:
+            loc = (round(self.location.x / location_quantum),
+                   round(self.location.y / location_quantum))
+        else:
+            loc = (self.location.x, self.location.y)
+        if self.interval.is_full:
+            arc = (0.0, round(TWO_PI, _ANGLE_DECIMALS))
+        else:
+            arc = (round(self.interval.lower, _ANGLE_DECIMALS),
+                   round(self.interval.width, _ANGLE_DECIMALS))
+        return (loc, arc, tuple(sorted(self.keywords)), self.k,
+                self.match_mode.value)
+
 
 @dataclass(frozen=True)
 class ResultEntry:
@@ -104,9 +139,16 @@ class ResultEntry:
 
 @dataclass
 class QueryResult:
-    """The answer list plus the search-effort counters that produced it."""
+    """The answer list plus the search-effort counters that produced it.
+
+    ``partial`` is set when a deadline expired mid-search: the entries are
+    all genuine answers (every one was verified against the query
+    predicate), but they are only the best found *so far* — POIs nearer
+    than ``kth_distance`` may exist in regions the search never reached.
+    """
 
     entries: List[ResultEntry] = field(default_factory=list)
+    partial: bool = False
 
     def __len__(self) -> int:
         return len(self.entries)

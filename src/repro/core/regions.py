@@ -178,6 +178,11 @@ class AnchorRegions:
         range ``[theta_lo, theta_hi)`` is prunable when ``theta_hi <= tau_lo``
         or ``theta_lo > tau_hi``.  Returns a half-open ``(first, last+1)``
         pair into ``band.subregions``.
+
+        The band's *last* sub-region is the exception to the half-open
+        convention: its ``theta_hi`` is pinned to ``pi/2`` but POIs at
+        exactly ``pi/2`` live inside it, so it is closed at the top and
+        must not be pruned by ``theta_hi <= tau_lo``.
         """
         breaks = band.theta_breaks
         # First sub-region whose *upper* bound exceeds tau_lo: since
@@ -186,7 +191,8 @@ class AnchorRegions:
         first = bisect_right(breaks, tau_lo) - 1
         if first < 0:
             first = 0
-        elif band.subregions[first].theta_hi <= tau_lo:
+        elif (band.subregions[first].theta_hi <= tau_lo
+              and first + 1 < len(band.subregions)):
             first += 1
         # Last sub-region whose lower bound is <= tau_hi.
         last = bisect_right(breaks, tau_hi) - 1

@@ -45,6 +45,19 @@ from .regions import Band
 INF = math.inf
 
 
+class SupportsExpired:
+    """Structural type for cooperative deadlines.
+
+    Anything with an ``expired() -> bool`` method works (duck-typed; this
+    class exists for documentation and isinstance-free annotation).  The
+    canonical implementation is :class:`repro.service.Deadline` — core
+    stays import-free of the serving layer.
+    """
+
+    def expired(self) -> bool:  # pragma: no cover - interface only
+        raise NotImplementedError
+
+
 class PruningMode(Enum):
     """Which pruning techniques the search applies (paper Sec. VI-B)."""
 
@@ -133,13 +146,21 @@ class DesksSearcher:
                mode: PruningMode = PruningMode.RD,
                stats: Optional[SearchStats] = None,
                seed_entries: Optional[Iterable[ResultEntry]] = None,
-               trace: Optional[QueryTrace] = None) -> QueryResult:
+               trace: Optional[QueryTrace] = None,
+               deadline: Optional["SupportsExpired"] = None) -> QueryResult:
         """The k nearest POIs satisfying keyword and direction constraints.
 
         ``seed_entries`` pre-populates the top-k collector — the incremental
         algorithms of Section V pass cached answers here so ``d_k`` starts
         tight.  ``trace`` (a :class:`~repro.core.trace.QueryTrace`) records
         the search's decisions for inspection.
+
+        ``deadline`` is any object with an ``expired() -> bool`` method
+        (e.g. :class:`repro.service.Deadline`).  The best-first scan checks
+        it cooperatively between bands and between sub-regions; on expiry
+        the search stops and returns the best answers found so far with
+        ``partial=True`` instead of raising — graceful degradation for the
+        serving layer.  Every returned entry is still a verified answer.
         """
         collector = _TopK(query.k, seed=seed_entries)
         conjunctive = query.match_mode is MatchMode.ALL
@@ -150,8 +171,9 @@ class DesksSearcher:
                 trace.num_results = len(collector.entries())
             return QueryResult(collector.entries())
         subqueries = self._prepare_subqueries(query, term_ids)
-        self._run(query, subqueries, collector, mode, stats, trace)
-        result = QueryResult(collector.entries())
+        completed = self._run(query, subqueries, collector, mode, stats,
+                              trace, deadline)
+        result = QueryResult(collector.entries(), partial=not completed)
         if trace is not None:
             trace.num_results = len(result)
         return result
@@ -203,7 +225,9 @@ class DesksSearcher:
     def _run(self, query: DirectionalQuery, subqueries: List[_Subquery],
              collector: _TopK, mode: PruningMode,
              stats: Optional[SearchStats],
-             trace: Optional[QueryTrace] = None) -> None:
+             trace: Optional[QueryTrace] = None,
+             deadline: Optional["SupportsExpired"] = None) -> bool:
+        """Drive the band queue to exhaustion; False when a deadline cut in."""
         heap: List[Tuple[float, int, int, _Subquery]] = []
         seq = 0
 
@@ -227,6 +251,8 @@ class DesksSearcher:
             push_band(sub, start)
 
         while heap:
+            if deadline is not None and deadline.expired():
+                return False
             priority, _, band_idx, sub = heapq.heappop(heap)
             if priority is INF:
                 continue
@@ -242,9 +268,11 @@ class DesksSearcher:
             band = sub.anchor.regions.bands[band_idx]
             band_trace = (trace.begin_band(sub.quadrant, band_idx, priority)
                           if trace is not None else None)
-            self._scan_band(query, sub, band, collector, mode, stats,
-                            band_trace)
+            if not self._scan_band(query, sub, band, collector, mode, stats,
+                                   band_trace, deadline):
+                return False
             push_band(sub, band_idx + 1)
+        return True
 
     def _initial_band(self, sub: _Subquery, mode: PruningMode) -> int:
         """Lemma 1: bands strictly inside the query's radius are skipped."""
@@ -270,18 +298,25 @@ class DesksSearcher:
     def _scan_band(self, query: DirectionalQuery, sub: _Subquery, band: Band,
                    collector: _TopK, mode: PruningMode,
                    stats: Optional[SearchStats],
-                   band_trace: Optional[BandTrace] = None) -> None:
+                   band_trace: Optional[BandTrace] = None,
+                   deadline: Optional["SupportsExpired"] = None) -> bool:
+        """Scan one band's sub-regions; False when the deadline cut in."""
         candidates = self._candidate_subregions(sub, band, collector, mode,
                                                 stats, band_trace)
         scanned = 0
+        completed = True
         for mindist, subregion_gid in candidates:
             if mode.direction and mindist >= collector.kth_distance:
                 break  # candidates are MINDIST-sorted (Alg. 1 line 9)
+            if deadline is not None and deadline.expired():
+                completed = False
+                break
             scanned += 1
             self._scan_subregion(query, sub, subregion_gid, collector,
                                  stats, band_trace)
         if band_trace is not None:
             band_trace.subregions_kept = scanned
+        return completed
 
     def _candidate_subregions(self, sub: _Subquery, band: Band,
                               collector: _TopK, mode: PruningMode,

@@ -1,0 +1,70 @@
+"""Per-query deadlines with graceful degradation.
+
+A :class:`Deadline` is a wall-clock budget checked *cooperatively*: the
+DESKS best-first scan polls ``expired()`` between bands and between
+sub-regions (see :meth:`repro.core.DesksSearcher.search`), stopping early
+and returning the best-k-so-far with ``partial=True`` instead of raising.
+That makes the serving layer's tail latency bounded by one sub-region scan
+past the budget, while every returned entry remains a verified answer.
+
+Deadlines are measured on :func:`time.monotonic` so clock adjustments
+cannot extend or collapse a budget.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from typing import Optional
+
+
+class Deadline:
+    """A point on the monotonic clock after which work should stop.
+
+    ``Deadline.after(0.05)`` gives a 50 ms budget.  ``None`` timeouts map
+    to :meth:`unbounded`, which never expires, so call sites can thread a
+    single object through without ``if deadline is not None`` checks.
+    """
+
+    __slots__ = ("_expires_at",)
+
+    def __init__(self, expires_at: float) -> None:
+        self._expires_at = expires_at
+
+    @classmethod
+    def after(cls, seconds: float) -> "Deadline":
+        """A deadline ``seconds`` from now (must be non-negative)."""
+        if seconds < 0.0:
+            raise ValueError(f"deadline budget must be >= 0: {seconds}")
+        return cls(time.monotonic() + seconds)
+
+    @classmethod
+    def unbounded(cls) -> "Deadline":
+        """A deadline that never expires."""
+        return cls(math.inf)
+
+    @classmethod
+    def from_timeout(cls, timeout: Optional[float]) -> "Deadline":
+        """``None`` => unbounded, else :meth:`after` — the engine's idiom."""
+        if timeout is None:
+            return cls.unbounded()
+        return cls.after(timeout)
+
+    @property
+    def is_unbounded(self) -> bool:
+        return self._expires_at == math.inf
+
+    def expired(self) -> bool:
+        """True once the budget is spent (the core search polls this)."""
+        return time.monotonic() >= self._expires_at
+
+    def remaining(self) -> float:
+        """Seconds left, clamped at zero (``inf`` when unbounded)."""
+        if self.is_unbounded:
+            return math.inf
+        return max(0.0, self._expires_at - time.monotonic())
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        if self.is_unbounded:
+            return "Deadline(unbounded)"
+        return f"Deadline(remaining={self.remaining():.4f}s)"

@@ -1,0 +1,220 @@
+"""The concurrent query engine: thread pool + cache + deadlines + metrics.
+
+:class:`QueryEngine` is the serving layer's front door.  It wraps either a
+static :class:`~repro.core.DesksIndex` (behind a pool of
+:class:`~repro.core.DesksSearcher`\\ s) or a
+:class:`~repro.core.MutableDesksIndex` (which manages its own searcher and
+mutation lock), and executes queries on a fixed-size thread pool:
+
+* ``execute(query)`` — synchronous, runs on the calling thread;
+* ``submit(query)`` — returns a :class:`concurrent.futures.Future`;
+* ``submit_batch(queries)`` — one future per query, with duplicate
+  queries (same canonical key) collapsed onto a single execution.
+
+Every execution consults the :class:`~repro.service.cache.ResultCache`
+first, keyed on the query's canonical form and the index *generation* (see
+``cache.py`` for the staleness contract), runs under a
+:class:`~repro.service.deadline.Deadline`, and records counters and
+latency/page-I/O histograms into a
+:class:`~repro.service.metrics.MetricsRegistry`.
+
+Pure-Python searches hold the GIL, so the pool does not speed up a single
+CPU-bound query stream; what it buys is (a) overlap of many *clients'*
+think time (see ``workload.py``), (b) bounded concurrency as admission
+control, and (c) the architecture seam where a C/GIL-releasing or
+multi-process searcher drops in later.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from concurrent.futures import Future, ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Optional, Sequence, Union
+
+from ..core import (
+    DesksIndex,
+    DesksSearcher,
+    DirectionalQuery,
+    MutableDesksIndex,
+    PruningMode,
+    QueryResult,
+)
+from ..storage import SearchStats
+from .cache import ResultCache
+from .deadline import Deadline
+from .metrics import MetricsRegistry, PAGES_BUCKETS
+
+
+@dataclass(frozen=True)
+class ServiceResponse:
+    """One served query: the answer plus how it was produced."""
+
+    query: DirectionalQuery
+    result: QueryResult
+    cached: bool
+    generation: int
+    latency_seconds: float
+    stats: Optional[SearchStats] = None
+
+    @property
+    def partial(self) -> bool:
+        """True when a deadline truncated the search (never for hits)."""
+        return self.result.partial
+
+
+class QueryEngine:
+    """Concurrent, cached, deadline-aware execution of DESKS queries."""
+
+    def __init__(self, index: Union[DesksIndex, MutableDesksIndex],
+                 num_workers: int = 4,
+                 mode: PruningMode = PruningMode.RD,
+                 cache: Optional[ResultCache] = None,
+                 cache_capacity: int = 1024,
+                 location_quantum: float = 0.0,
+                 default_timeout: Optional[float] = None,
+                 metrics: Optional[MetricsRegistry] = None) -> None:
+        if num_workers <= 0:
+            raise ValueError(f"num_workers must be positive: {num_workers}")
+        self.index = index
+        self.mode = mode
+        self.default_timeout = default_timeout
+        self.cache = cache if cache is not None else ResultCache(
+            cache_capacity, location_quantum)
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.num_workers = num_workers
+        self._mutable = isinstance(index, MutableDesksIndex)
+        if self._mutable:
+            # Eager purge on every insert/delete/rebuild.  Correctness does
+            # not depend on this (lookups re-check the generation), it just
+            # frees memory promptly and keeps the hit-rate metric honest.
+            index.subscribe(
+                lambda gen: self.cache.invalidate_older_than(gen))
+            self._searchers: Optional["queue.Queue[DesksSearcher]"] = None
+        else:
+            # A searcher is cheap (two references), but pooling them keeps
+            # per-worker state possible later (e.g. per-searcher buffers)
+            # and bounds concurrent index scans to the pool size.
+            pool: "queue.Queue[DesksSearcher]" = queue.Queue()
+            for _ in range(num_workers):
+                pool.put(DesksSearcher(index))
+            self._searchers = pool
+        self._executor = ThreadPoolExecutor(
+            max_workers=num_workers, thread_name_prefix="desks-worker")
+        self._closed = False
+
+    # -- generation ---------------------------------------------------------
+
+    @property
+    def generation(self) -> int:
+        """The index's current data generation (0 forever when static)."""
+        if self._mutable:
+            return self.index.generation
+        return 0
+
+    # -- execution ----------------------------------------------------------
+
+    def execute(self, query: DirectionalQuery,
+                timeout: Optional[float] = None) -> ServiceResponse:
+        """Serve one query on the calling thread (cache, then search)."""
+        started = time.monotonic()
+        generation = self.generation
+        cached = self.cache.get(query, generation)
+        if cached is not None:
+            latency = time.monotonic() - started
+            self._record(latency, cached=True, partial=False, pages=0)
+            return ServiceResponse(query, cached, True, generation, latency)
+        deadline = Deadline.from_timeout(
+            timeout if timeout is not None else self.default_timeout)
+        stats = SearchStats()
+        io_before = self._io_snapshot()
+        result = self._search(query, stats, deadline)
+        pages = self._io_snapshot() - io_before
+        # The generation captured *before* the search makes late caching
+        # safe: if an update landed mid-search, the stored tag is already
+        # stale and the entry can never be served.
+        self.cache.put(query, result, generation)
+        latency = time.monotonic() - started
+        self._record(latency, cached=False, partial=result.partial,
+                     pages=pages)
+        return ServiceResponse(query, result, False, generation, latency,
+                               stats)
+
+    def submit(self, query: DirectionalQuery,
+               timeout: Optional[float] = None,
+               ) -> "Future[ServiceResponse]":
+        """Queue one query on the worker pool; returns its future."""
+        if self._closed:
+            raise RuntimeError("engine is closed")
+        return self._executor.submit(self.execute, query, timeout)
+
+    def submit_batch(self, queries: Sequence[DirectionalQuery],
+                     timeout: Optional[float] = None,
+                     ) -> List["Future[ServiceResponse]"]:
+        """Queue many queries; duplicates share a single execution.
+
+        The returned list is index-aligned with ``queries``; entries whose
+        canonical key repeats an earlier entry receive the *same* future
+        object, so a batch of 100 copies of one query costs one search.
+        """
+        futures: List["Future[ServiceResponse]"] = []
+        first_seen: Dict[Hashable, "Future[ServiceResponse]"] = {}
+        for query in queries:
+            key = self.cache.key_for(query)
+            future = first_seen.get(key)
+            if future is None:
+                future = self.submit(query, timeout)
+                first_seen[key] = future
+                self.metrics.counter("batch_unique_total").increment()
+            else:
+                self.metrics.counter("batch_deduped_total").increment()
+            futures.append(future)
+        return futures
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def close(self) -> None:
+        """Stop accepting work and wait for in-flight queries."""
+        self._closed = True
+        self._executor.shutdown(wait=True)
+
+    def __enter__(self) -> "QueryEngine":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- internals ----------------------------------------------------------
+
+    def _search(self, query: DirectionalQuery, stats: SearchStats,
+                deadline: Deadline) -> QueryResult:
+        if self._mutable:
+            return self.index.search(query, self.mode, stats,
+                                     deadline=deadline)
+        searcher = self._searchers.get()
+        try:
+            return searcher.search(query, self.mode, stats,
+                                   deadline=deadline)
+        finally:
+            self._searchers.put(searcher)
+
+    def _io_snapshot(self) -> int:
+        """Logical page reads so far (approximate per-query attribution:
+        concurrent queries' pages land in whichever delta is open)."""
+        io_stats = getattr(self.index, "io_stats", None)
+        return io_stats.logical_reads if io_stats is not None else 0
+
+    def _record(self, latency: float, *, cached: bool, partial: bool,
+                pages: int) -> None:
+        metrics = self.metrics
+        metrics.counter("queries_total").increment()
+        metrics.counter("cache_hits_total" if cached
+                        else "cache_misses_total").increment()
+        if partial:
+            metrics.counter("partial_results_total").increment()
+        metrics.histogram("query_latency_seconds").observe(latency)
+        if not cached:
+            metrics.histogram("pages_per_query",
+                              PAGES_BUCKETS).observe(float(pages))

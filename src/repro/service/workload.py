@@ -1,0 +1,142 @@
+"""Closed-loop load generation against a :class:`QueryEngine`.
+
+N client threads each run the classic closed loop: issue a query, wait for
+the answer, *think* for a configurable time, repeat.  Think time is what
+makes a closed-loop benchmark scale with clients — while one client
+thinks, the engine serves the others — and it mirrors real interactive
+traffic (a map user pans, reads, then queries again).  With zero think
+time and a pure-Python (GIL-bound) searcher, adding clients mostly adds
+queueing; the serve-bench defaults therefore use a small think time so
+client-count sweeps show the expected aggregate-QPS scaling.
+
+The loop is deterministic given ``seed``: client ``i`` walks the query
+list starting at offset ``i`` with stride ``num_clients``, so a repeated
+(cache-warm) workload replays exactly.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..core import DirectionalQuery
+from .engine import QueryEngine
+
+
+@dataclass
+class WorkloadReport:
+    """Aggregate outcome of one closed-loop run."""
+
+    num_clients: int
+    elapsed_seconds: float
+    total_queries: int
+    per_client_queries: List[int]
+    cache_hits: int
+    cache_lookups: int
+    partial_results: int
+    errors: int
+    first_error: Optional[str] = None
+    latency: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def qps(self) -> float:
+        """Aggregate completed queries per wall-clock second."""
+        return self.total_queries / max(self.elapsed_seconds, 1e-9)
+
+    @property
+    def cache_hit_rate(self) -> float:
+        return self.cache_hits / max(self.cache_lookups, 1)
+
+    def summary(self) -> str:
+        """One human-readable line, serve-bench's table row."""
+        p95 = self.latency.get("p95", 0.0) * 1000.0
+        return (f"clients={self.num_clients:<3} qps={self.qps:8.1f}  "
+                f"hit_rate={self.cache_hit_rate:6.1%}  "
+                f"p95={p95:7.2f}ms  partial={self.partial_results}  "
+                f"errors={self.errors}")
+
+
+def run_closed_loop(engine: QueryEngine,
+                    queries: Sequence[DirectionalQuery],
+                    num_clients: int,
+                    requests_per_client: Optional[int] = None,
+                    duration_seconds: Optional[float] = None,
+                    think_time: float = 0.0,
+                    timeout: Optional[float] = None,
+                    ) -> WorkloadReport:
+    """Drive ``engine`` with ``num_clients`` synchronous client threads.
+
+    Exactly one of ``requests_per_client`` (deterministic, test-friendly)
+    or ``duration_seconds`` (wall-clock bound, bench-friendly) must be
+    given.  Each client blocks on its own query's future — the closed
+    loop — then sleeps ``think_time`` seconds before the next request.
+    """
+    if not queries:
+        raise ValueError("the workload needs at least one query")
+    if num_clients <= 0:
+        raise ValueError(f"num_clients must be positive: {num_clients}")
+    if (requests_per_client is None) == (duration_seconds is None):
+        raise ValueError("give exactly one of requests_per_client or "
+                         "duration_seconds")
+
+    stop_at = (time.monotonic() + duration_seconds
+               if duration_seconds is not None else None)
+    counts = [0] * num_clients
+    partials = [0] * num_clients
+    errors: List[str] = []
+    errors_lock = threading.Lock()
+    start_barrier = threading.Barrier(num_clients + 1)
+
+    def client(client_id: int) -> None:
+        position = client_id
+        issued = 0
+        start_barrier.wait()
+        while True:
+            if requests_per_client is not None and \
+                    issued >= requests_per_client:
+                break
+            if stop_at is not None and time.monotonic() >= stop_at:
+                break
+            query = queries[position % len(queries)]
+            position += num_clients
+            try:
+                response = engine.submit(query, timeout).result()
+            except Exception as exc:  # noqa: BLE001 - reported, not lost
+                with errors_lock:
+                    errors.append(f"{type(exc).__name__}: {exc}")
+                break
+            issued += 1
+            counts[client_id] = issued
+            if response.partial:
+                partials[client_id] += 1
+            if think_time > 0.0:
+                time.sleep(think_time)
+
+    threads = [threading.Thread(target=client, args=(i,),
+                                name=f"client-{i}", daemon=True)
+               for i in range(num_clients)]
+    cache_before = engine.cache.stats
+    for thread in threads:
+        thread.start()
+    start_barrier.wait()
+    started = time.monotonic()
+    for thread in threads:
+        thread.join()
+    elapsed = time.monotonic() - started
+    cache_after = engine.cache.stats
+
+    latency = engine.metrics.histogram("query_latency_seconds").snapshot()
+    return WorkloadReport(
+        num_clients=num_clients,
+        elapsed_seconds=elapsed,
+        total_queries=sum(counts),
+        per_client_queries=list(counts),
+        cache_hits=cache_after.hits - cache_before.hits,
+        cache_lookups=cache_after.lookups - cache_before.lookups,
+        partial_results=sum(partials),
+        errors=len(errors),
+        first_error=errors[0] if errors else None,
+        latency=latency,
+    )

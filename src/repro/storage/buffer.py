@@ -2,13 +2,16 @@
 
 The pool serves reads from cache when possible (counting a cache hit instead
 of a physical read) and writes back dirty pages on eviction and on
-:meth:`BufferPool.flush`.  It is deliberately simple — single-threaded, no
-pinning — because the reproduction's workloads are single-query-at-a-time,
-like the paper's.
+:meth:`BufferPool.flush`.  It is deliberately simple — no pinning — but it
+*is* thread-safe: the serving layer (:mod:`repro.service`) issues reads from
+a pool of worker threads, so eviction, recency updates, and the I/O counters
+are serialised by one lock.  Single-threaded workloads pay only an
+uncontended lock acquire per page access.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from .pages import PageStore
 
@@ -23,6 +26,9 @@ class BufferPool:
         self.capacity = capacity
         # page_id -> (data, dirty); ordered by recency, most recent last.
         self._frames: "OrderedDict[int, list]" = OrderedDict()
+        # Guards frames, eviction, and the shared I/O counters.  RLock so
+        # close() may call flush() without re-entrancy gymnastics.
+        self._lock = threading.RLock()
 
     # -- metrics ------------------------------------------------------------
 
@@ -34,7 +40,8 @@ class BufferPool:
     @property
     def num_cached(self) -> int:
         """Number of pages currently resident."""
-        return len(self._frames)
+        with self._lock:
+            return len(self._frames)
 
     @property
     def page_size(self) -> int:
@@ -48,18 +55,20 @@ class BufferPool:
 
     def allocate(self) -> int:
         """Allocate a new page in the store (not yet cached)."""
-        return self._store.allocate()
+        with self._lock:
+            return self._store.allocate()
 
     def read_page(self, page_id: int) -> bytes:
         """Read a page, via cache when resident."""
-        frame = self._frames.get(page_id)
-        if frame is not None:
-            self._frames.move_to_end(page_id)
-            self.stats.record_read(hit=True)
-            return frame[0]
-        data = self._store.read_page(page_id)
-        self._insert(page_id, data, dirty=False)
-        return data
+        with self._lock:
+            frame = self._frames.get(page_id)
+            if frame is not None:
+                self._frames.move_to_end(page_id)
+                self.stats.record_read(hit=True)
+                return frame[0]
+            data = self._store.read_page(page_id)
+            self._insert(page_id, data, dirty=False)
+            return data
 
     def write_page(self, page_id: int, data: bytes) -> None:
         """Stage a page write; flushed to the store on eviction/flush."""
@@ -69,34 +78,39 @@ class BufferPool:
                 f"{self.page_size}")
         if len(data) < self.page_size:
             data = data + b"\x00" * (self.page_size - len(data))
-        frame = self._frames.get(page_id)
-        if frame is not None:
-            frame[0] = data
-            frame[1] = True
-            self._frames.move_to_end(page_id)
-        else:
-            self._insert(page_id, data, dirty=True)
+        with self._lock:
+            frame = self._frames.get(page_id)
+            if frame is not None:
+                frame[0] = data
+                frame[1] = True
+                self._frames.move_to_end(page_id)
+            else:
+                self._insert(page_id, data, dirty=True)
 
     def flush(self) -> None:
         """Write every dirty resident page back to the store."""
-        for page_id, frame in self._frames.items():
-            if frame[1]:
-                self._store.write_page(page_id, frame[0])
-                frame[1] = False
+        with self._lock:
+            for page_id, frame in self._frames.items():
+                if frame[1]:
+                    self._store.write_page(page_id, frame[0])
+                    frame[1] = False
 
     def clear(self) -> None:
         """Flush and drop all resident pages (cold-cache reset)."""
-        self.flush()
-        self._frames.clear()
+        with self._lock:
+            self.flush()
+            self._frames.clear()
 
     def close(self) -> None:
         """Flush and close the underlying store."""
-        self.flush()
-        self._store.close()
+        with self._lock:
+            self.flush()
+            self._store.close()
 
     # -- internals ------------------------------------------------------------
 
     def _insert(self, page_id: int, data: bytes, dirty: bool) -> None:
+        # Caller holds self._lock.
         while len(self._frames) >= self.capacity:
             evicted_id, evicted = self._frames.popitem(last=False)
             if evicted[1]:

@@ -1,0 +1,107 @@
+"""Regression tests: POIs at the query location survive direction pruning.
+
+A POI co-located with the query is an answer at distance 0 regardless of
+the direction interval (``DirectionalQuery.matches`` treats it so), but it
+stresses two degenerate spots in the pruning machinery:
+
+* the band's *last* sub-region is closed at ``pi/2`` (POIs exactly on the
+  quadrant boundary live inside it) while the wedge-window binary search
+  used to assume every sub-region is half-open — a query straight above an
+  anchor produced an empty window and dropped the co-located POI;
+* a query exactly at an anchor corner has ``qd == 0``, and a POI at the
+  anchor carries the ``atan2(0, 0) == 0`` angle convention, outside any
+  non-trivial ``[alpha, beta]`` window.
+
+Both were found by the incremental Hypothesis suite; these tests pin the
+minimal reproducers plus a randomized apex sweep against brute force.
+"""
+
+import math
+import random
+
+import pytest
+
+from repro.core import DesksIndex, DesksSearcher, DirectionalQuery, PruningMode
+from repro.core.bruteforce import brute_force_search
+from repro.datasets import POI, POICollection
+from repro.geometry import Point
+
+ALL_MODES = (PruningMode.R, PruningMode.D, PruningMode.RD)
+
+
+def make_searcher(pois, num_bands=2, num_wedges=2):
+    collection = POICollection(pois)
+    index = DesksIndex(collection, num_bands=num_bands,
+                       num_wedges=num_wedges)
+    return collection, DesksSearcher(index)
+
+
+class TestCoLocatedPOI:
+    def test_poi_on_quadrant_boundary_above_anchor(self):
+        # Query straight above the anchor: canonical theta is exactly pi/2,
+        # which lands in the band's closed-top last wedge.
+        pois = [POI(0, Point(0.0, 0.0), frozenset({"a"})),
+                POI(1, Point(0.0, 0.0), frozenset({"a"})),
+                POI(2, Point(0.0, 1.0), frozenset({"a"}))]
+        _, searcher = make_searcher(pois)
+        query = DirectionalQuery.make(0.0, 0.0, 4.0, 5.0, ["a"], k=3)
+        for mode in ALL_MODES:
+            result = searcher.search(query, mode)
+            assert result.poi_ids() == [0, 1], mode
+            assert result.distances() == [0.0, 0.0], mode
+
+    def test_query_at_anchor_corner(self):
+        # The MBR's min corner IS an anchor; a POI there has qd == 0 and
+        # the degenerate theta = 0 convention.
+        pois = [POI(0, Point(0.0, 0.0), frozenset({"a"})),
+                POI(1, Point(7.0, 9.0), frozenset({"a"})),
+                POI(2, Point(3.0, 2.0), frozenset({"a"}))]
+        _, searcher = make_searcher(pois)
+        # Interval well away from theta = 0.
+        query = DirectionalQuery.make(0.0, 0.0, 1.3, 1.5, ["a"], k=3)
+        for mode in ALL_MODES:
+            result = searcher.search(query, mode)
+            assert 0 in result.poi_ids(), mode
+            assert result.distances()[0] == 0.0, mode
+
+    @pytest.mark.parametrize("corner", [(0, 0), (10, 0), (0, 10), (10, 10)])
+    def test_query_at_every_anchor_corner(self, corner):
+        x, y = corner
+        pois = [POI(0, Point(float(x), float(y)), frozenset({"a"})),
+                POI(1, Point(5.0, 5.0), frozenset({"a"})),
+                POI(2, Point(10.0, 10.0), frozenset({"b"})),
+                POI(3, Point(0.0, 0.0), frozenset({"b"})),
+                POI(4, Point(10.0, 0.0), frozenset({"b"})),
+                POI(5, Point(0.0, 10.0), frozenset({"b"}))]
+        _, searcher = make_searcher(pois)
+        for lower in (0.5, 2.0, 3.8, 5.5):
+            query = DirectionalQuery.make(float(x), float(y), lower,
+                                          lower + 0.4, ["a"], k=2)
+            for mode in ALL_MODES:
+                result = searcher.search(query, mode)
+                assert 0 in result.poi_ids(), (corner, lower, mode)
+
+
+class TestApexSweep:
+    def test_random_apex_queries_match_brute_force(self):
+        rng = random.Random(1040)
+        vocabulary = ["a", "b", "c"]
+        for _ in range(60):
+            n = rng.randrange(3, 40)
+            pois = [POI(i, Point(rng.uniform(0, 100), rng.uniform(0, 100)),
+                        frozenset(rng.sample(vocabulary,
+                                             rng.randrange(1, 3))))
+                    for i in range(n)]
+            collection, searcher = make_searcher(
+                pois, num_bands=3, num_wedges=4)
+            target = pois[rng.randrange(n)]
+            lower = rng.uniform(0, 2 * math.pi)
+            query = DirectionalQuery.make(
+                target.location.x, target.location.y,
+                lower, lower + rng.uniform(0.2, 3.0),
+                sorted(target.keywords)[:1], k=5)
+            expected = brute_force_search(collection, query)
+            for mode in ALL_MODES:
+                got = searcher.search(query, mode)
+                assert got.poi_ids() == expected.poi_ids(), (
+                    mode, got.poi_ids(), expected.poi_ids())

@@ -1,0 +1,160 @@
+"""Incremental re-query edge cases: 0/2π wraparound and full replacement.
+
+The paper's Section V algorithms are exercised elsewhere on friendly
+intervals; these tests pin down the awkward geometry — widenings whose new
+wedges straddle the positive x-axis, rotations large enough that the new
+interval shares nothing with the old — always verified against the
+brute-force oracle on the *final* interval.
+"""
+
+import pytest
+
+from repro.core import (
+    DesksIndex,
+    DesksSearcher,
+    DirectionalQuery,
+    IncrementalSearcher,
+    brute_force_search,
+)
+from repro.geometry import TWO_PI, DirectionInterval
+
+from .conftest import make_collection
+
+K = 8
+
+
+@pytest.fixture(scope="module")
+def setup():
+    col = make_collection(600, seed=77)
+    searcher = DesksSearcher(DesksIndex(col, num_bands=5, num_wedges=8))
+    return col, searcher
+
+
+def assert_matches_oracle(col, result, query):
+    expect = brute_force_search(col, query)
+    assert [round(d, 9) for d in result.distances()] == \
+        [round(d, 9) for d in expect.distances()]
+
+
+def make_inc(searcher, interval, keywords=("cafe", "food")):
+    inc = IncrementalSearcher(searcher)
+    query = DirectionalQuery.make(50, 50, interval.lower, interval.upper,
+                                  list(keywords), k=K)
+    inc.initial_search(query)
+    return inc, query
+
+
+class TestWrapAroundWidening:
+    def test_widen_across_zero_upper(self, setup):
+        """Old interval just below 2π; the upper wedge crosses the axis."""
+        col, searcher = setup
+        old = DirectionInterval(6.0, 6.2)
+        inc, query = make_inc(searcher, old)
+        new = DirectionInterval(6.0, 6.2 + 0.8)  # upper end wraps past 2π
+        result = inc.increase_direction(new)
+        assert_matches_oracle(col, result, query.with_interval(new))
+
+    def test_widen_across_zero_lower(self, setup):
+        """Old interval just above 0; the lower wedge crosses the axis."""
+        col, searcher = setup
+        old = DirectionInterval(0.1, 0.4)
+        inc, query = make_inc(searcher, old)
+        new = DirectionInterval(0.1 - 0.7, 0.4)  # lower end wraps below 0
+        result = inc.increase_direction(new)
+        assert_matches_oracle(col, result, query.with_interval(new))
+
+    def test_old_interval_itself_wraps(self, setup):
+        """The cached interval already straddles 0; widen both sides."""
+        col, searcher = setup
+        old = DirectionInterval(6.0, 6.0 + 0.6)  # crosses the axis
+        inc, query = make_inc(searcher, old)
+        new = DirectionInterval(5.7, 5.7 + 1.4)  # contains old, wider
+        result = inc.increase_direction(new)
+        assert_matches_oracle(col, result, query.with_interval(new))
+
+    def test_widen_to_full_circle(self, setup):
+        col, searcher = setup
+        old = DirectionInterval(6.1, 6.1 + 0.5)
+        inc, query = make_inc(searcher, old)
+        new = DirectionInterval.full()
+        result = inc.increase_direction(new)
+        assert_matches_oracle(col, result, query.with_interval(new))
+
+    def test_chained_wrapping_widenings(self, setup):
+        """Several widenings in a row, each reusing the previous cache."""
+        col, searcher = setup
+        interval = DirectionInterval(6.2, 6.2 + 0.2)
+        inc, query = make_inc(searcher, interval)
+        for growth in (0.4, 0.9, 2.0):
+            interval = DirectionInterval(interval.lower - growth / 2,
+                                         interval.upper + growth / 2)
+            result = inc.increase_direction(interval)
+            assert_matches_oracle(col, result,
+                                  query.with_interval(interval))
+
+
+class TestFullReplacementRotation:
+    def test_rotation_equal_to_width_replaces_interval(self, setup):
+        """delta == width: zero overlap, must fall back to fresh search."""
+        col, searcher = setup
+        old = DirectionInterval(1.0, 1.5)
+        inc, query = make_inc(searcher, old)
+        result = inc.move_direction(0.5)
+        assert_matches_oracle(col, result,
+                              query.with_interval(old.rotate(0.5)))
+
+    def test_rotation_larger_than_width(self, setup):
+        col, searcher = setup
+        old = DirectionInterval(2.0, 2.8)
+        inc, query = make_inc(searcher, old)
+        result = inc.move_direction(3.0)
+        assert_matches_oracle(col, result,
+                              query.with_interval(old.rotate(3.0)))
+
+    def test_large_negative_rotation(self, setup):
+        col, searcher = setup
+        old = DirectionInterval(0.3, 1.0)
+        inc, query = make_inc(searcher, old)
+        result = inc.move_direction(-2.5)
+        assert_matches_oracle(col, result,
+                              query.with_interval(old.rotate(-2.5)))
+
+    def test_replacement_rotation_across_wraparound(self, setup):
+        """The replaced interval lands straddling the 0/2π axis."""
+        col, searcher = setup
+        old = DirectionInterval(5.0, 5.4)
+        inc, query = make_inc(searcher, old)
+        delta = (TWO_PI - 5.2)  # rotates the midpoint onto the axis
+        result = inc.move_direction(delta)
+        assert_matches_oracle(col, result,
+                              query.with_interval(old.rotate(delta)))
+
+    def test_cache_still_usable_after_replacement(self, setup):
+        """A replacement rotation re-primes the cache for later reuse."""
+        col, searcher = setup
+        old = DirectionInterval(1.0, 1.4)
+        inc, query = make_inc(searcher, old)
+        inc.move_direction(2.0)  # full replacement
+        rotated = old.rotate(2.0)
+        result = inc.move_direction(0.1)  # small follow-up, uses new cache
+        assert_matches_oracle(col, result,
+                              query.with_interval(rotated.rotate(0.1)))
+
+
+class TestPartialOverlapNearWrap:
+    def test_small_rotation_through_zero(self, setup):
+        """Rotation keeps overlap while sweeping across the axis."""
+        col, searcher = setup
+        old = DirectionInterval(6.1, 6.1 + 0.5)
+        inc, query = make_inc(searcher, old)
+        result = inc.move_direction(0.3)
+        assert_matches_oracle(col, result,
+                              query.with_interval(old.rotate(0.3)))
+
+    def test_small_negative_rotation_through_zero(self, setup):
+        col, searcher = setup
+        old = DirectionInterval(0.05, 0.55)
+        inc, query = make_inc(searcher, old)
+        result = inc.move_direction(-0.3)
+        assert_matches_oracle(col, result,
+                              query.with_interval(old.rotate(-0.3)))

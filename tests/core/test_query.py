@@ -4,7 +4,7 @@ import math
 
 import pytest
 
-from repro.core import DirectionalQuery, QueryResult, ResultEntry
+from repro.core import DirectionalQuery, MatchMode, QueryResult, ResultEntry
 from repro.geometry import DirectionInterval, Point
 
 
@@ -76,3 +76,53 @@ class TestQueryResult:
     def test_result_entry_ordering(self):
         assert ResultEntry(5, 1.0) < ResultEntry(2, 2.0)
         assert ResultEntry(1, 1.0) < ResultEntry(2, 1.0)
+
+
+class TestCanonicalKey:
+    def test_keyword_order_irrelevant(self):
+        a = DirectionalQuery.make(1, 2, 0.5, 1.5, ["cafe", "atm"], k=5)
+        b = DirectionalQuery.make(1, 2, 0.5, 1.5, ["atm", "cafe"], k=5)
+        assert a.canonical_key() == b.canonical_key()
+
+    def test_hashable_and_stable(self):
+        q = DirectionalQuery.make(1, 2, 0.5, 1.5, ["a"], k=5)
+        assert hash(q.canonical_key()) == hash(q.canonical_key())
+        assert len({q.canonical_key(), q.canonical_key()}) == 1
+
+    def test_interval_normalized_into_two_pi(self):
+        two_pi = 2 * math.pi
+        a = DirectionalQuery.make(0, 0, 0.5, 1.5, ["a"])
+        b = DirectionalQuery.make(0, 0, 0.5 + two_pi, 1.5 + two_pi, ["a"])
+        assert a.canonical_key() == b.canonical_key()
+
+    def test_full_circle_representations_collapse(self):
+        two_pi = 2 * math.pi
+        a = DirectionalQuery.make(0, 0, 0.0, two_pi, ["a"])
+        b = DirectionalQuery.make(0, 0, 1.25, 1.25 + two_pi, ["a"])
+        assert a.canonical_key() == b.canonical_key()
+
+    def test_float_noise_collapses(self):
+        a = DirectionalQuery.make(0, 0, 0.5, 1.5, ["a"])
+        b = DirectionalQuery.make(0, 0, 0.5 + 1e-13, 1.5 - 1e-13, ["a"])
+        assert a.canonical_key() == b.canonical_key()
+
+    def test_distinguishes_k_and_mode_and_location(self):
+        base = DirectionalQuery.make(0, 0, 0.5, 1.5, ["a"], k=5)
+        assert base.canonical_key() != DirectionalQuery.make(
+            0, 0, 0.5, 1.5, ["a"], k=6).canonical_key()
+        assert base.canonical_key() != DirectionalQuery.make(
+            0, 1, 0.5, 1.5, ["a"], k=5).canonical_key()
+        assert base.canonical_key() != DirectionalQuery.make(
+            0, 0, 0.5, 1.5, ["a"], k=5,
+            match_mode=MatchMode.ANY).canonical_key()
+
+    def test_location_quantum_buckets_nearby_queries(self):
+        a = DirectionalQuery.make(10.01, 20.02, 0.5, 1.5, ["a"])
+        b = DirectionalQuery.make(10.04, 19.98, 0.5, 1.5, ["a"])
+        assert a.canonical_key() != b.canonical_key()
+        assert a.canonical_key(0.5) == b.canonical_key(0.5)
+
+    def test_negative_quantum_rejected(self):
+        q = DirectionalQuery.make(0, 0, 0.5, 1.5, ["a"])
+        with pytest.raises(ValueError):
+            q.canonical_key(-1.0)

@@ -1,0 +1,51 @@
+"""Shared fixtures for the serving-layer tests."""
+
+import math
+import random
+
+import pytest
+
+from repro.core import DesksIndex, DirectionalQuery, MutableDesksIndex
+from repro.datasets import POI, POICollection
+
+KEYWORD_POOL = ["cafe", "food", "gas", "atm", "pizza", "bank", "hotel",
+                "park"]
+EXTENT = 100.0
+
+
+def make_collection(n=400, seed=42):
+    rng = random.Random(seed)
+    pois = []
+    for i in range(n):
+        kws = rng.sample(KEYWORD_POOL, rng.randint(1, 3))
+        pois.append(POI.make(i, rng.uniform(0, EXTENT),
+                             rng.uniform(0, EXTENT), kws))
+    return POICollection(pois)
+
+
+def make_queries(count, seed=0, k=5):
+    rng = random.Random(seed)
+    queries = []
+    for _ in range(count):
+        lower = rng.uniform(0, 2 * math.pi)
+        queries.append(DirectionalQuery.make(
+            rng.uniform(0, EXTENT), rng.uniform(0, EXTENT),
+            lower, lower + rng.uniform(0.3, 5.0),
+            rng.sample(KEYWORD_POOL, rng.randint(1, 2)), k))
+    return queries
+
+
+@pytest.fixture(scope="module")
+def collection():
+    return make_collection()
+
+
+@pytest.fixture(scope="module")
+def static_index(collection):
+    return DesksIndex(collection, num_bands=4, num_wedges=6)
+
+
+@pytest.fixture()
+def mutable_index(collection):
+    # Function-scoped: tests mutate it.
+    return MutableDesksIndex(collection, num_bands=4, num_wedges=6)

@@ -1,0 +1,84 @@
+"""Deadline semantics and graceful degradation of the core search."""
+
+import math
+
+import pytest
+
+from repro.core import (
+    DesksSearcher,
+    DirectionalQuery,
+    brute_force_search,
+)
+from repro.service import Deadline
+
+from .conftest import make_queries
+
+
+class TestDeadline:
+    def test_after_expires(self):
+        d = Deadline.after(0.0)
+        assert d.expired()
+        assert d.remaining() == 0.0
+
+    def test_generous_budget_not_expired(self):
+        d = Deadline.after(60.0)
+        assert not d.expired()
+        assert 0.0 < d.remaining() <= 60.0
+
+    def test_unbounded(self):
+        d = Deadline.unbounded()
+        assert not d.expired()
+        assert d.remaining() == math.inf
+        assert d.is_unbounded
+
+    def test_from_timeout(self):
+        assert Deadline.from_timeout(None).is_unbounded
+        assert Deadline.from_timeout(0.0).expired()
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ValueError):
+            Deadline.after(-1.0)
+
+
+class TestGracefulDegradation:
+    def test_expired_deadline_yields_partial(self, static_index):
+        searcher = DesksSearcher(static_index)
+        query = make_queries(1, seed=5)[0]
+        result = searcher.search(query, deadline=Deadline.after(0.0))
+        assert result.partial
+
+    def test_partial_entries_are_genuine_answers(self, collection,
+                                                 static_index):
+        """Everything returned under an expired deadline still satisfies
+        the query predicate — degradation truncates, never corrupts."""
+        searcher = DesksSearcher(static_index)
+        for query in make_queries(10, seed=6):
+            result = searcher.search(query, deadline=Deadline.after(0.0))
+            assert result.partial
+            for entry in result.entries:
+                poi = collection[entry.poi_id]
+                assert query.matches(poi.location, poi.keywords)
+                assert entry.distance == pytest.approx(
+                    query.location.distance_to(poi.location))
+
+    def test_unbounded_deadline_matches_oracle(self, collection,
+                                               static_index):
+        searcher = DesksSearcher(static_index)
+        for query in make_queries(10, seed=7):
+            result = searcher.search(query,
+                                     deadline=Deadline.unbounded())
+            assert not result.partial
+            expect = brute_force_search(collection, query)
+            assert result.poi_ids() == expect.poi_ids()
+
+    def test_partial_is_prefix_consistent(self, collection, static_index):
+        """Partial answers never contain a POI farther than an answer the
+        full search would place at the same rank... weaker but checkable:
+        partial distances are a subset of matching POIs' distances and
+        sorted non-decreasing."""
+        searcher = DesksSearcher(static_index)
+        query = make_queries(1, seed=8)[0]
+        result = searcher.search(query, deadline=Deadline.after(0.0))
+        distances = result.distances()
+        assert distances == sorted(distances)
+        assert len(result) <= query.k

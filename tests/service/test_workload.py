@@ -1,0 +1,67 @@
+"""The closed-loop load generator: determinism, accounting, scaling hooks."""
+
+import pytest
+
+from repro.service import QueryEngine, run_closed_loop
+
+from .conftest import make_queries
+
+
+@pytest.fixture()
+def engine(static_index):
+    with QueryEngine(static_index, num_workers=4) as eng:
+        yield eng
+
+
+class TestClosedLoop:
+    def test_fixed_request_count(self, engine):
+        queries = make_queries(10, seed=30)
+        report = run_closed_loop(engine, queries, num_clients=3,
+                                 requests_per_client=7)
+        assert report.total_queries == 21
+        assert report.per_client_queries == [7, 7, 7]
+        assert report.errors == 0
+        assert report.qps > 0
+        assert report.elapsed_seconds > 0
+
+    def test_cache_warm_repeat_hits(self, engine):
+        queries = make_queries(5, seed=31)
+        # Each client walks the 5 queries 4 times: everything past the
+        # first pass is a hit.
+        report = run_closed_loop(engine, queries, num_clients=1,
+                                 requests_per_client=20)
+        assert report.cache_lookups == 20
+        assert report.cache_hits == 15
+        assert report.cache_hit_rate == pytest.approx(0.75)
+
+    def test_latency_snapshot_present(self, engine):
+        report = run_closed_loop(engine, make_queries(4, seed=32),
+                                 num_clients=2, requests_per_client=4)
+        assert set(report.latency) >= {"p50", "p95", "p99", "mean"}
+        assert report.latency["p50"] >= 0.0
+
+    def test_duration_bound_stops(self, engine):
+        report = run_closed_loop(engine, make_queries(4, seed=33),
+                                 num_clients=2, duration_seconds=0.15)
+        assert report.elapsed_seconds < 5.0
+        assert report.errors == 0
+
+    def test_summary_renders(self, engine):
+        report = run_closed_loop(engine, make_queries(3, seed=34),
+                                 num_clients=2, requests_per_client=3)
+        line = report.summary()
+        assert "qps=" in line and "hit_rate=" in line
+
+    def test_validation(self, engine):
+        queries = make_queries(2, seed=35)
+        with pytest.raises(ValueError):
+            run_closed_loop(engine, [], num_clients=1,
+                            requests_per_client=1)
+        with pytest.raises(ValueError):
+            run_closed_loop(engine, queries, num_clients=0,
+                            requests_per_client=1)
+        with pytest.raises(ValueError):
+            run_closed_loop(engine, queries, num_clients=1)
+        with pytest.raises(ValueError):
+            run_closed_loop(engine, queries, num_clients=1,
+                            requests_per_client=1, duration_seconds=1.0)
