@@ -44,6 +44,8 @@ SECTIONS = [
     ("ablation_dynamic_delta", "Ablation — dynamic delta fraction"),
     ("ablation_dynamic_inserts", "Ablation — insert throughput"),
     ("io_comparison", "I/O comparison — pages vs node accesses"),
+    ("service_throughput", "Serving layer — closed-loop throughput"),
+    ("cluster_pruning", "Cluster — direction-aware shard pruning"),
     ("scale_large", "Opt-in large-scale run (DESKS_LARGE=1)"),
 ]
 
@@ -78,6 +80,20 @@ def write_report() -> str:
             lines.append(f"*missing: {path}*")
             missing.append(stem)
         lines.append("")
+    json_files = sorted(f for f in os.listdir(RESULTS)
+                        if f.endswith(".json")) if os.path.isdir(RESULTS) \
+        else []
+    lines.append("## Machine-readable results")
+    lines.append("")
+    if json_files:
+        lines.append("JSON twins of the tables above, for tooling "
+                     "(trend checks, plotting):")
+        lines.append("")
+        for filename in json_files:
+            lines.append(f"- `results/{filename}`")
+    else:
+        lines.append("*no JSON results present*")
+    lines.append("")
     out = os.path.join(RESULTS, "REPORT.md")
     os.makedirs(RESULTS, exist_ok=True)
     with open(out, "w", encoding="utf-8") as handle:

@@ -1,0 +1,139 @@
+"""Sharded scatter-gather acceptance (beyond the paper).
+
+Two acceptance checks over the PR-2 cluster layer on the VA preset:
+
+* **Exactness** — on a randomized workload (200+ queries covering every
+  partitioner and S in {1, 2, 4, 8}) the sharded deployment returns
+  *exactly* the unsharded searcher's answers, including tie-breaking, and
+  keeps doing so with R=2 while one replica position is hard-failed.
+* **Direction-aware pruning** — under the spatial grid partitioner the
+  shard-pruning rate grows monotonically as the query direction interval
+  narrows from 2*pi to pi/8: the cluster-level payoff of the paper's
+  direction pruning.  The sweep is written to ``results/BENCH_cluster.json``
+  for tooling and ``results/cluster_pruning.txt`` for eyeballs.
+"""
+
+import math
+
+from repro.bench import (
+    format_series_table,
+    generate_queries,
+    write_json_result,
+    write_result,
+)
+from repro.cluster import PARTITIONERS, FaultInjector, ShardRouter
+from repro.core import DesksIndex, DesksSearcher
+
+from conftest import bench_bands, bench_wedges
+
+SHARD_SWEEP = (1, 2, 4, 8)
+WIDTH_SWEEP = (2 * math.pi, math.pi, math.pi / 2, math.pi / 4, math.pi / 8)
+QUERIES_PER_CELL = 20  # x 3 partitioners x 4 shard counts = 240 queries
+
+
+def _entries(result):
+    return [(e.poi_id, e.distance) for e in result.entries]
+
+
+def _reference(collection):
+    bands = bench_bands(len(collection))
+    wedges = bench_wedges(len(collection), bands)
+    return DesksSearcher(DesksIndex(collection, num_bands=bands,
+                                    num_wedges=wedges))
+
+
+def test_sharded_equals_unsharded_randomized(datasets):
+    collection = datasets["VA"]
+    reference = _reference(collection)
+    total = mismatches = 0
+    for partitioner in sorted(PARTITIONERS):
+        for num_shards in SHARD_SWEEP:
+            queries = generate_queries(
+                collection, QUERIES_PER_CELL, 2,
+                direction_width=math.pi / 2, k=10,
+                seed=500 + num_shards)
+            with ShardRouter(collection, num_shards=num_shards,
+                             partitioner=partitioner) as router:
+                for query in queries:
+                    total += 1
+                    got = router.execute(query)
+                    assert not got.degraded
+                    if _entries(got.result) != \
+                            _entries(reference.search(query)):
+                        mismatches += 1
+    assert total >= 200
+    assert mismatches == 0
+
+
+def test_exact_under_single_replica_failure(datasets):
+    """R=2, replica position 0 always fails: answers stay exact."""
+    collection = datasets["VA"]
+    reference = _reference(collection)
+    injector = FaultInjector()
+    injector.set_fault(replica_id=0, error_rate=1.0)
+    queries = generate_queries(collection, 50, 2,
+                               direction_width=math.pi / 2, k=10, seed=77)
+    with ShardRouter(collection, num_shards=4, partitioner="grid",
+                     replication=2, fault_injector=injector) as router:
+        retries = 0
+        for query in queries:
+            got = router.execute(query)
+            assert not got.degraded
+            retries += got.replica_retries
+            assert _entries(got.result) == _entries(reference.search(query))
+    assert retries > 0  # the failures really happened and were absorbed
+
+
+def test_pruning_rate_grows_as_direction_narrows(datasets):
+    collection = datasets["VA"]
+    num_shards = 8
+    sweep = []
+    with ShardRouter(collection, num_shards=num_shards,
+                     partitioner="grid") as router:
+        for width in WIDTH_SWEEP:
+            queries = generate_queries(collection, 40, 2,
+                                       direction_width=width, k=10,
+                                       seed=900)
+            pruned = dispatched = 0
+            for query in queries:
+                response = router.execute(query)
+                pruned += (response.shards_pruned
+                           + response.shards_keyword_pruned
+                           + response.shards_skipped)
+                dispatched += response.shards_dispatched
+            rate = pruned / (pruned + dispatched)
+            sweep.append({
+                "direction_width_rad": width,
+                "queries": len(queries),
+                "shards": num_shards,
+                "pruned": pruned,
+                "dispatched": dispatched,
+                "pruning_rate": rate,
+            })
+
+    rates = [row["pruning_rate"] for row in sweep]
+    table = format_series_table(
+        "Cluster (VA, grid, S=8): direction width vs shard pruning",
+        "width (rad)", [f"{w:.3f}" for w in WIDTH_SWEEP],
+        {"pruning rate": rates,
+         "avg dispatched": [row["dispatched"] / row["queries"]
+                            for row in sweep]},
+        unit="fraction of shards / shards per query")
+    print()
+    print(table)
+    write_result("cluster_pruning", table)
+    write_json_result("BENCH_cluster", {
+        "dataset": "VA",
+        "num_pois": len(collection),
+        "partitioner": "grid",
+        "num_shards": num_shards,
+        "width_sweep": sweep,
+    })
+
+    # Acceptance: monotone non-decreasing pruning as the sector narrows,
+    # with a strict gain over the full sweep.
+    for narrower, wider in zip(rates[1:], rates[:-1]):
+        assert narrower >= wider, (
+            f"pruning rate fell from {wider:.3f} to {narrower:.3f} as the "
+            "direction interval narrowed")
+    assert rates[-1] > rates[0]

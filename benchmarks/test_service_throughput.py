@@ -14,7 +14,13 @@ the dataset changes underneath a result cache.  Two acceptance checks:
 
 import math
 
-from repro.bench import format_series_table, generate_queries, repeated_stream, write_result
+from repro.bench import (
+    format_series_table,
+    generate_queries,
+    repeated_stream,
+    write_json_result,
+    write_result,
+)
 from repro.core import MutableDesksIndex
 from repro.service import QueryEngine, run_closed_loop
 
@@ -57,6 +63,18 @@ def test_multi_client_qps_beats_single_client(datasets):
     print()
     print(table)
     write_result("service_throughput", table)
+    write_json_result("BENCH_service", {
+        "dataset": "VA",
+        "num_pois": len(collection),
+        "requests_per_client": REQUESTS,
+        "think_time_seconds": THINK_TIME,
+        "sweep": [
+            {"clients": clients, "qps": qps, "cache_hit_rate_pct": hit,
+             "p95_ms": p95}
+            for clients, qps, hit, p95 in zip(CLIENT_SWEEP, qps_col,
+                                              hit_col, p95_col)
+        ],
+    })
 
     # Acceptance: concurrency must pay.  Cache-warm requests are fast
     # relative to think time, so even the GIL-bound engine overlaps the

@@ -36,6 +36,7 @@ from .core import (
     load_index,
     save_index,
 )
+from .cluster import FaultInjector, ShardRouter
 from .datasets import POI, POICollection
 from .geometry import DirectionInterval, Point
 from .service import (
@@ -56,6 +57,7 @@ __all__ = [
     "DesksSearcher",
     "DirectionInterval",
     "DirectionalQuery",
+    "FaultInjector",
     "IncrementalSearcher",
     "MatchMode",
     "MetricsRegistry",
@@ -70,6 +72,7 @@ __all__ = [
     "ResultCache",
     "ResultEntry",
     "ServiceResponse",
+    "ShardRouter",
     "brute_force_search",
     "load_index",
     "run_closed_loop",

@@ -1,6 +1,12 @@
 """Benchmark harness: workload builders, timed runners, report rendering."""
 
-from .reporting import ascii_chart, format_series_table, speedup, write_result
+from .reporting import (
+    ascii_chart,
+    format_series_table,
+    speedup,
+    write_json_result,
+    write_result,
+)
 from .runner import (
     RunMeasurement,
     baseline_search_fn,
@@ -24,5 +30,6 @@ __all__ = [
     "repeated_stream",
     "run_workload",
     "speedup",
+    "write_json_result",
     "write_result",
 ]

@@ -8,6 +8,8 @@ EXPERIMENTS.md can quote measured numbers.
 
 from __future__ import annotations
 
+import datetime
+import json
 import os
 from typing import Dict, List, Optional, Sequence
 
@@ -46,6 +48,31 @@ def write_result(name: str, content: str,
     path = os.path.join(directory, f"{name}.txt")
     with open(path, "w", encoding="utf-8") as handle:
         handle.write(content.rstrip() + "\n")
+    return path
+
+
+def write_json_result(name: str, payload: Dict[str, object],
+                      results_dir: Optional[str] = None) -> str:
+    """Write one experiment's data as ``results/<name>.json``.
+
+    The machine-readable twin of :func:`write_result`: the text tables are
+    for eyeballs, these files are for tooling (CI trend checks, plotting).
+    ``payload`` must be JSON-serializable; it is wrapped in an envelope
+    with the benchmark name and a generation timestamp.  Returns the path
+    written.
+    """
+    directory = results_dir or os.path.join(os.getcwd(), "results")
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, f"{name}.json")
+    envelope = {
+        "benchmark": name,
+        "generated": datetime.datetime.now(
+            datetime.timezone.utc).isoformat(timespec="seconds"),
+        "data": payload,
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(envelope, handle, indent=2, sort_keys=True)
+        handle.write("\n")
     return path
 
 

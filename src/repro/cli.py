@@ -18,6 +18,12 @@ Commands
     Drive the concurrent serving layer (:mod:`repro.service`) with a
     closed-loop multi-client workload, sweeping client counts and
     printing QPS / cache-hit-rate / tail-latency per step.
+``cluster-bench``
+    Drive the sharded scatter-gather layer (:mod:`repro.cluster`):
+    sweep shard counts under a chosen partitioner, verify answers
+    against the unsharded index, and report shard-pruning rates,
+    latency, and (with replication and ``--fault-rate``) failover
+    behaviour.
 """
 
 from __future__ import annotations
@@ -141,6 +147,41 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--seed", type=int, default=0)
     p_serve.add_argument("--metrics", action="store_true",
                          help="dump the full metrics registry at the end")
+    p_serve.add_argument("--metrics-json", metavar="PATH", default=None,
+                         help="write the metrics registry to PATH as JSON")
+
+    p_cluster = sub.add_parser(
+        "cluster-bench",
+        help="sharded scatter-gather sweep with equivalence checking")
+    p_cluster.add_argument("input", help="POI CSV path")
+    p_cluster.add_argument("--shards", type=int, nargs="+",
+                           default=[1, 2, 4, 8],
+                           help="shard counts to sweep (default: 1 2 4 8)")
+    p_cluster.add_argument("--partitioner", default="grid",
+                           choices=["grid", "angular", "hash"])
+    p_cluster.add_argument("--replicas", type=int, default=1,
+                           help="replicas per shard (default 1)")
+    p_cluster.add_argument("--fault-rate", type=float, default=0.0,
+                           help="injected error probability on replica 0 "
+                                "of every shard (needs --replicas >= 2 "
+                                "for exact answers)")
+    p_cluster.add_argument("--fanout", type=int, default=4,
+                           help="max shards dispatched per wave")
+    p_cluster.add_argument("--workers", type=int, default=8,
+                           help="shared pool worker threads")
+    p_cluster.add_argument("--queries", type=int, default=100,
+                           help="random queries per sweep step")
+    p_cluster.add_argument("--keywords", type=int, default=2,
+                           help="keywords per generated query")
+    p_cluster.add_argument("--width", type=float, default=90.0,
+                           help="direction width in degrees")
+    p_cluster.add_argument("-k", type=int, default=10)
+    p_cluster.add_argument("--seed", type=int, default=0)
+    p_cluster.add_argument("--no-verify", action="store_true",
+                           help="skip the unsharded equivalence check")
+    p_cluster.add_argument("--metrics-json", metavar="PATH", default=None,
+                           help="write the cluster metrics snapshot "
+                                "(router + every shard/replica) to PATH")
     return parser
 
 
@@ -278,7 +319,83 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
         if args.metrics:
             print()
             print(engine.metrics.render())
+        if args.metrics_json:
+            _write_metrics_json(engine.metrics.to_dict(), args.metrics_json)
     return 0
+
+
+def _write_metrics_json(snapshot: dict, path: str) -> None:
+    import json
+
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(snapshot, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote metrics to {path}")
+
+
+def _cmd_cluster_bench(args: argparse.Namespace) -> int:
+    from .bench import generate_queries
+    from .cluster import FaultInjector, ShardRouter
+
+    collection = load_csv(args.input)
+    queries = generate_queries(
+        collection, args.queries, num_keywords=args.keywords,
+        direction_width=math.radians(args.width), k=args.k, seed=args.seed)
+    reference = None
+    if not args.no_verify:
+        reference = DesksSearcher(DesksIndex(collection))
+
+    injector = None
+    if args.fault_rate > 0.0:
+        injector = FaultInjector(seed=args.seed)
+        injector.set_fault(replica_id=0, error_rate=args.fault_rate)
+
+    print(f"{len(collection)} POIs, {len(queries)} queries, "
+          f"partitioner={args.partitioner}, replicas={args.replicas}, "
+          f"fault_rate={args.fault_rate}")
+    print(f"{'shards':>7}{'avg ms':>10}{'pruned %':>10}{'retries':>9}"
+          f"{'degraded':>10}{'mismatches':>12}")
+    exit_code = 0
+    last_snapshot = None
+    for num_shards in args.shards:
+        with ShardRouter(collection, num_shards=num_shards,
+                         partitioner=args.partitioner,
+                         replication=args.replicas,
+                         num_workers=args.workers,
+                         max_fanout=args.fanout,
+                         fault_injector=injector) as router:
+            latency = retries = degraded = mismatches = 0.0
+            pruned = total = 0
+            for query in queries:
+                response = router.execute(query)
+                latency += response.latency_seconds
+                retries += response.replica_retries
+                degraded += 1 if response.degraded else 0
+                pruned += (response.shards_pruned
+                           + response.shards_keyword_pruned
+                           + response.shards_skipped)
+                total += response.shards_total
+                if reference is not None and not response.degraded:
+                    expected = reference.search(query)
+                    if [(e.poi_id, e.distance)
+                            for e in response.result.entries] != \
+                            [(e.poi_id, e.distance)
+                             for e in expected.entries]:
+                        mismatches += 1
+            print(f"{num_shards:>7}"
+                  f"{1000.0 * latency / len(queries):>10.3f}"
+                  f"{100.0 * pruned / total:>10.1f}"
+                  f"{int(retries):>9}{int(degraded):>10}"
+                  f"{int(mismatches):>12}")
+            if mismatches:
+                print(f"  ERROR: {int(mismatches)} sharded answers "
+                      "diverged from the unsharded index",
+                      file=sys.stderr)
+                exit_code = 1
+            last_snapshot = router.metrics_snapshot()
+    if args.metrics_json and last_snapshot is not None:
+        _write_metrics_json(last_snapshot, args.metrics_json)
+    return exit_code
 
 
 _COMMANDS = {
@@ -288,6 +405,7 @@ _COMMANDS = {
     "query": _cmd_query,
     "bench": _cmd_bench,
     "serve-bench": _cmd_serve_bench,
+    "cluster-bench": _cmd_cluster_bench,
 }
 
 

@@ -1,0 +1,61 @@
+"""Sharded scatter-gather serving: horizontal partitioning for DESKS.
+
+PR 1's :class:`~repro.service.QueryEngine` serves one index on one node;
+this package partitions a collection across ``S`` independent DESKS shards
+and answers queries by scatter-gather, exploiting the paper's geometry at
+the cluster level: a query's sector ``(q, [alpha, beta])`` proves entire
+shards irrelevant before dispatch, the same way Lemmas 2-4 prune
+sub-regions inside one index.
+
+* :mod:`~repro.cluster.partition` — pluggable partitioners (``grid``,
+  ``angular``, ``hash``) producing shard MBRs and keyword document
+  frequencies;
+* :mod:`~repro.cluster.router` — :class:`ShardRouter`: sector pruning,
+  MINDIST + cardinality ordering, wave dispatch on a shared pool, merge
+  with early termination;
+* :mod:`~repro.cluster.replica` — R-way replication, health state,
+  failover, and the :class:`FaultInjector` that makes degraded modes
+  testable;
+* :mod:`~repro.cluster.stats` — routing counters and a whole-deployment
+  metrics snapshot on the PR-1 :class:`~repro.service.MetricsRegistry`.
+
+See ``docs/CLUSTER.md`` for the architecture, the pruning rule, and the
+replication/failover semantics.
+"""
+
+from .partition import (
+    PARTITIONERS,
+    ClusterLayout,
+    ShardSpec,
+    build_layout,
+    shard_collection,
+)
+from .replica import (
+    FaultInjector,
+    FaultRule,
+    InjectedFault,
+    Replica,
+    ReplicaSet,
+    ShardUnavailableError,
+)
+from .router import ClusterResponse, Shard, ShardRouter
+from .stats import SHARD_BUCKETS, ClusterStats
+
+__all__ = [
+    "PARTITIONERS",
+    "SHARD_BUCKETS",
+    "ClusterLayout",
+    "ClusterResponse",
+    "ClusterStats",
+    "FaultInjector",
+    "FaultRule",
+    "InjectedFault",
+    "Replica",
+    "ReplicaSet",
+    "Shard",
+    "ShardRouter",
+    "ShardSpec",
+    "ShardUnavailableError",
+    "build_layout",
+    "shard_collection",
+]

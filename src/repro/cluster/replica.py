@@ -1,0 +1,243 @@
+"""R-way replication with health tracking and injectable faults.
+
+Each shard is served by a :class:`ReplicaSet` of ``R`` replicas.  A
+replica wraps its own :class:`~repro.service.QueryEngine` (private result
+cache, private metrics) over the shard's index; all replicas of all shards
+share one thread pool, so replication adds no threads.
+
+Routing inside the set is round-robin over *healthy* replicas first, then
+unhealthy ones as a recovery probe; a replica is marked unhealthy after
+``health_threshold`` consecutive failures and healthy again on its first
+success.  A query fails over transparently — only when every replica of a
+shard fails does the set raise :class:`ShardUnavailableError`, which the
+router reports as a degraded (partial) answer rather than an error.
+
+:class:`FaultInjector` makes the degraded modes testable: per-shard /
+per-replica rules inject extra latency and/or raise
+:class:`InjectedFault` with a configured probability, deterministic under
+a seed.  Production code paths never import it; it is plugged in through
+the router's ``fault_injector`` argument.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from dataclasses import dataclass
+from typing import List, Optional, Tuple, Union
+
+from ..core import DesksIndex, DirectionalQuery, MutableDesksIndex, PruningMode
+from ..service import MetricsRegistry, QueryEngine, ServiceResponse
+
+
+class InjectedFault(RuntimeError):
+    """Raised by :class:`FaultInjector` in place of a real replica error."""
+
+
+class ShardUnavailableError(RuntimeError):
+    """Every replica of one shard failed for one query."""
+
+    def __init__(self, shard_id: int, attempts: int,
+                 last_error: Optional[BaseException]) -> None:
+        self.shard_id = shard_id
+        self.attempts = attempts
+        self.last_error = last_error
+        detail = f": {last_error}" if last_error is not None else ""
+        super().__init__(
+            f"shard {shard_id} unavailable after {attempts} replica "
+            f"attempts{detail}")
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """One injection rule: probability of error plus added latency."""
+
+    error_rate: float = 0.0
+    extra_latency: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.error_rate <= 1.0:
+            raise ValueError(
+                f"error_rate must be in [0, 1]: {self.error_rate}")
+        if self.extra_latency < 0.0:
+            raise ValueError(
+                f"extra_latency must be non-negative: {self.extra_latency}")
+
+
+class FaultInjector:
+    """Configurable per-shard / per-replica error and latency injection.
+
+    Rules are keyed by ``(shard_id, replica_id)`` where either side may be
+    ``None`` as a wildcard; the most specific match wins, in the order
+    exact > shard-wide > replica-position-wide > global.  Thread-safe;
+    draws are deterministic under ``seed`` (per call sequence, so tests
+    usually use rates of 0.0 or 1.0 when they need exact behavior).
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self._rules: dict = {}
+        self._rng = random.Random(seed)
+        self._lock = threading.Lock()
+        self.injected_faults = 0
+
+    def set_fault(self, shard_id: Optional[int] = None,
+                  replica_id: Optional[int] = None,
+                  error_rate: float = 0.0,
+                  extra_latency: float = 0.0) -> None:
+        """Install (or replace) the rule for one scope."""
+        rule = FaultRule(error_rate, extra_latency)
+        with self._lock:
+            self._rules[(shard_id, replica_id)] = rule
+
+    def clear(self) -> None:
+        """Drop every rule (the cluster heals instantly)."""
+        with self._lock:
+            self._rules.clear()
+
+    def _match(self, shard_id: int, replica_id: int) -> Optional[FaultRule]:
+        for key in ((shard_id, replica_id), (shard_id, None),
+                    (None, replica_id), (None, None)):
+            rule = self._rules.get(key)
+            if rule is not None:
+                return rule
+        return None
+
+    def before_call(self, shard_id: int, replica_id: int) -> None:
+        """Apply the matching rule; raises :class:`InjectedFault` on a hit.
+
+        Called on the pool worker thread about to execute the query, so
+        injected latency occupies a worker exactly like slow real work.
+        """
+        with self._lock:
+            rule = self._match(shard_id, replica_id)
+            if rule is None:
+                return
+            fire = rule.error_rate > 0.0 and \
+                self._rng.random() < rule.error_rate
+            if fire:
+                self.injected_faults += 1
+        if rule.extra_latency > 0.0:
+            time.sleep(rule.extra_latency)
+        if fire:
+            raise InjectedFault(
+                f"injected fault at shard {shard_id} replica {replica_id}")
+
+
+class Replica:
+    """One replica: an engine plus its health state."""
+
+    def __init__(self, shard_id: int, replica_id: int,
+                 engine: QueryEngine, health_threshold: int) -> None:
+        self.shard_id = shard_id
+        self.replica_id = replica_id
+        self.engine = engine
+        self.health_threshold = health_threshold
+        self.healthy = True
+        self.consecutive_failures = 0
+        self.total_failures = 0
+        self._lock = threading.Lock()
+
+    def mark_success(self) -> None:
+        with self._lock:
+            self.consecutive_failures = 0
+            self.healthy = True
+
+    def mark_failure(self) -> None:
+        with self._lock:
+            self.consecutive_failures += 1
+            self.total_failures += 1
+            if self.consecutive_failures >= self.health_threshold:
+                self.healthy = False
+
+
+class ReplicaSet:
+    """The R replicas serving one shard, with failover routing."""
+
+    def __init__(self, shard_id: int,
+                 index: Union[DesksIndex, MutableDesksIndex],
+                 replication: int,
+                 mode: PruningMode = PruningMode.RD,
+                 cache_capacity: int = 128,
+                 executor=None,
+                 fault_injector: Optional[FaultInjector] = None,
+                 health_threshold: int = 3,
+                 metrics: Optional[MetricsRegistry] = None) -> None:
+        if replication < 1:
+            raise ValueError(f"replication must be >= 1: {replication}")
+        if health_threshold < 1:
+            raise ValueError(
+                f"health_threshold must be >= 1: {health_threshold}")
+        self.shard_id = shard_id
+        self.fault_injector = fault_injector
+        self.metrics = metrics
+        # Replicas share the shard's (read-only) index and the cluster's
+        # thread pool; each gets a private engine so caches and per-replica
+        # metrics stay independent, as they would be on separate machines.
+        self.replicas: List[Replica] = [
+            Replica(shard_id, replica_id,
+                    QueryEngine(index, num_workers=1, mode=mode,
+                                cache_capacity=cache_capacity,
+                                executor=executor),
+                    health_threshold)
+            for replica_id in range(replication)
+        ]
+        self._rotation = 0
+        self._lock = threading.Lock()
+
+    def __len__(self) -> int:
+        return len(self.replicas)
+
+    def _attempt_order(self) -> List[Replica]:
+        """Healthy replicas first (rotating start), unhealthy last."""
+        with self._lock:
+            start = self._rotation
+            self._rotation = (self._rotation + 1) % len(self.replicas)
+        rotated = (self.replicas[start:] + self.replicas[:start])
+        return ([r for r in rotated if r.healthy]
+                + [r for r in rotated if not r.healthy])
+
+    def execute(self, query: DirectionalQuery,
+                timeout: Optional[float] = None,
+                ) -> Tuple[ServiceResponse, int]:
+        """Serve ``query``, failing over across replicas.
+
+        Returns ``(response, retries)`` where ``retries`` counts failed
+        attempts before the one that succeeded.  Raises
+        :class:`ShardUnavailableError` when every replica fails.
+        """
+        last_error: Optional[BaseException] = None
+        attempts = 0
+        for replica in self._attempt_order():
+            attempts += 1
+            try:
+                if self.fault_injector is not None:
+                    self.fault_injector.before_call(
+                        self.shard_id, replica.replica_id)
+                response = replica.engine.execute(query, timeout)
+            except Exception as exc:  # noqa: BLE001 - converted to failover
+                replica.mark_failure()
+                last_error = exc
+                if self.metrics is not None:
+                    self.metrics.counter(
+                        "cluster_replica_failures_total").increment()
+                continue
+            replica.mark_success()
+            return response, attempts - 1
+        raise ShardUnavailableError(self.shard_id, attempts, last_error)
+
+    def health_summary(self) -> List[dict]:
+        """Per-replica health for stats/CLI output."""
+        return [
+            {
+                "replica_id": r.replica_id,
+                "healthy": r.healthy,
+                "consecutive_failures": r.consecutive_failures,
+                "total_failures": r.total_failures,
+            }
+            for r in self.replicas
+        ]
+
+    def close(self) -> None:
+        for replica in self.replicas:
+            replica.engine.close()

@@ -1,0 +1,347 @@
+"""Scatter-gather query routing with direction-aware shard pruning.
+
+:class:`ShardRouter` is the cluster's front door.  It partitions a
+collection into ``S`` independent :class:`~repro.core.DesksIndex` shards
+(via :mod:`repro.cluster.partition`) and answers a query in four steps:
+
+1. **Prune** — discard shards whose keyword document frequencies rule out
+   any match, then shards whose MBR does not intersect the query sector
+   (:func:`~repro.geometry.sector_intersects_mbr`).  Both tests are exact
+   as negative tests, so pruning never changes answers — the cluster-level
+   analogue of the paper's Lemmas 2-4.
+2. **Order** — rank survivors by ``MINDIST(q, shard_mbr)`` ascending with
+   estimated result cardinality (per-shard
+   :class:`~repro.core.CardinalityEstimator`) as the tie-break: nearer
+   shards bound the k-th distance sooner, and denser shards tighten it
+   faster.
+3. **Scatter** — dispatch survivors to their replica sets in waves of
+   ``max_fanout`` on one shared thread pool; each shard answers with its
+   local top-k (replication and failover live in
+   :mod:`repro.cluster.replica`).
+4. **Gather** — merge local top-k streams into the global top-k, mapping
+   local ids back to global ids.  Between waves, any remaining shard whose
+   MINDIST cannot beat the current global k-th bound is *skipped* — the
+   cluster-level mirror of Lemma 1's early termination.
+
+Exactness: answers equal the unsharded index's, bitwise, including
+tie-breaking — distances are computed from the same coordinates, and each
+shard's local id order equals global id order by construction (see
+``partition.py``) — except when a whole shard (every replica) fails, in
+which case the response is flagged degraded (``partial=True``) and the
+failed shard ids are reported.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import Future, ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core import (
+    CardinalityEstimator,
+    DesksIndex,
+    DirectionalQuery,
+    MatchMode,
+    PruningMode,
+    QueryResult,
+    ResultEntry,
+    load_sharded,
+    save_sharded,
+)
+from ..datasets import POICollection
+from ..geometry import sector_intersects_mbr
+from ..service import MetricsRegistry
+from .partition import ClusterLayout, ShardSpec, build_layout, shard_collection
+from .replica import FaultInjector, ReplicaSet, ShardUnavailableError
+from .stats import ClusterStats
+
+
+class Shard:
+    """One shard: spec, data, index, estimator, and its replica set."""
+
+    def __init__(self, spec: ShardSpec, collection: POICollection,
+                 index: DesksIndex, replicas: ReplicaSet) -> None:
+        self.spec = spec
+        self.collection = collection
+        self.index = index
+        self.replicas = replicas
+        self.estimator = CardinalityEstimator(collection)
+
+    def globalize(self, result: QueryResult) -> List[ResultEntry]:
+        """Map a shard-local result's POI ids back to global ids."""
+        ids = self.spec.global_ids
+        return [ResultEntry(ids[entry.poi_id], entry.distance)
+                for entry in result.entries]
+
+
+@dataclass
+class ClusterResponse:
+    """One routed query: the merged answer plus the routing decisions."""
+
+    query: DirectionalQuery
+    result: QueryResult
+    shards_total: int
+    shards_pruned: int              # sector (direction + distance) pruning
+    shards_keyword_pruned: int      # document-frequency pruning
+    shards_dispatched: int
+    shards_skipped: int             # early termination (k-th bound)
+    failed_shards: List[int] = field(default_factory=list)
+    replica_retries: int = 0
+    latency_seconds: float = 0.0
+
+    @property
+    def degraded(self) -> bool:
+        """True when at least one whole shard failed to answer."""
+        return bool(self.failed_shards)
+
+    @property
+    def pruning_rate(self) -> float:
+        """Fraction of shards ruled out before dispatch (all causes)."""
+        avoided = (self.shards_pruned + self.shards_keyword_pruned
+                   + self.shards_skipped)
+        return avoided / self.shards_total if self.shards_total else 0.0
+
+
+class ShardRouter:
+    """A sharded DESKS deployment behind a single ``execute()`` call."""
+
+    def __init__(self, collection: POICollection,
+                 num_shards: int = 4,
+                 partitioner: str = "grid",
+                 layout: Optional[ClusterLayout] = None,
+                 replication: int = 1,
+                 num_workers: int = 8,
+                 max_fanout: int = 4,
+                 num_bands: Optional[int] = None,
+                 num_wedges: Optional[int] = None,
+                 mode: PruningMode = PruningMode.RD,
+                 cache_capacity: int = 128,
+                 fault_injector: Optional[FaultInjector] = None,
+                 health_threshold: int = 3,
+                 metrics: Optional[MetricsRegistry] = None,
+                 _prebuilt: Optional[Sequence[Tuple[ShardSpec,
+                                                    DesksIndex]]] = None,
+                 ) -> None:
+        if num_workers < 1:
+            raise ValueError(f"num_workers must be >= 1: {num_workers}")
+        if max_fanout < 1:
+            raise ValueError(f"max_fanout must be >= 1: {max_fanout}")
+        self.mode = mode
+        self.max_fanout = max_fanout
+        self.fault_injector = fault_injector
+        self.stats = ClusterStats(metrics)
+        self._executor = ThreadPoolExecutor(
+            max_workers=num_workers, thread_name_prefix="desks-shard")
+        self.shards: List[Shard] = []
+        try:
+            if _prebuilt is not None:
+                pairs = [(spec, index.collection, index)
+                         for spec, index in _prebuilt]
+                self.layout = ClusterLayout(
+                    partitioner, sum(len(spec) for spec, _ in _prebuilt),
+                    tuple(spec for spec, _ in _prebuilt))
+            else:
+                self.layout = (layout if layout is not None
+                               else build_layout(collection, num_shards,
+                                                 partitioner))
+                pairs = []
+                for spec in self.layout.shards:
+                    sub = shard_collection(collection, spec)
+                    pairs.append((spec, sub,
+                                  DesksIndex(sub, num_bands, num_wedges)))
+            for spec, sub, index in pairs:
+                replicas = ReplicaSet(
+                    spec.shard_id, index, replication, mode=mode,
+                    cache_capacity=cache_capacity,
+                    executor=self._executor,
+                    fault_injector=fault_injector,
+                    health_threshold=health_threshold,
+                    metrics=self.stats.registry)
+                self.shards.append(Shard(spec, sub, index, replicas))
+        except Exception:
+            self._executor.shutdown(wait=False)
+            raise
+        self.num_shards = len(self.shards)
+        self.replication = replication
+
+    # -- routing ------------------------------------------------------------
+
+    def plan(self, query: DirectionalQuery,
+             ) -> Tuple[List[Tuple[float, Shard]], int, int]:
+        """Prune and order shards for one query.
+
+        Returns ``(survivors, keyword_pruned, sector_pruned)`` where
+        ``survivors`` is ``(MINDIST, shard)`` sorted by (MINDIST,
+        -estimated cardinality, shard id).
+        """
+        require_all = query.match_mode is MatchMode.ALL
+        keyword_pruned = sector_pruned = 0
+        ranked: List[Tuple[float, float, int, Shard]] = []
+        for shard in self.shards:
+            spec = shard.spec
+            if not spec.may_match_keywords(query.keywords, require_all):
+                keyword_pruned += 1
+                continue
+            if not sector_intersects_mbr(query.location, query.interval,
+                                         spec.mbr):
+                sector_pruned += 1
+                continue
+            mindist = spec.mbr.min_distance_to_point(query.location)
+            estimate = shard.estimator.estimate_matching_pois(query)
+            ranked.append((mindist, -estimate, spec.shard_id, shard))
+        ranked.sort(key=lambda item: item[:3])
+        return ([(mindist, shard) for mindist, _, _, shard in ranked],
+                keyword_pruned, sector_pruned)
+
+    def execute(self, query: DirectionalQuery,
+                timeout: Optional[float] = None) -> ClusterResponse:
+        """Scatter ``query`` to the relevant shards and gather the top-k."""
+        started = time.monotonic()
+        survivors, keyword_pruned, sector_pruned = self.plan(query)
+
+        merged: List[ResultEntry] = []
+        kth_bound = float("inf")
+        failed: List[int] = []
+        retries = 0
+        dispatched = skipped = 0
+        partial = False
+        position = 0
+        while position < len(survivors):
+            wave: List[Tuple[Shard, "Future"]] = []
+            while position < len(survivors) and len(wave) < self.max_fanout:
+                mindist, shard = survivors[position]
+                position += 1
+                # Early termination (cluster-level Lemma 1): survivors are
+                # MINDIST-sorted, but only this shard is decided here —
+                # later shards may still be reached after the next wave
+                # re-tightens the bound.  Strict > keeps distance ties
+                # eligible so global tie-breaking matches the unsharded
+                # index.
+                if mindist > kth_bound:
+                    skipped += 1
+                    continue
+                wave.append((shard,
+                             self._executor.submit(shard.replicas.execute,
+                                                   query, timeout)))
+            dispatched += len(wave)
+            for shard, future in wave:
+                try:
+                    response, attempts = future.result()
+                except ShardUnavailableError:
+                    failed.append(shard.spec.shard_id)
+                    retries += len(shard.replicas) - 1
+                    partial = True
+                    continue
+                retries += attempts
+                partial = partial or response.result.partial
+                merged.extend(shard.globalize(response.result))
+            merged.sort()
+            del merged[query.k:]
+            if len(merged) == query.k:
+                kth_bound = merged[-1].distance
+
+        response = ClusterResponse(
+            query=query,
+            result=QueryResult(merged, partial=partial),
+            shards_total=self.num_shards,
+            shards_pruned=sector_pruned,
+            shards_keyword_pruned=keyword_pruned,
+            shards_dispatched=dispatched,
+            shards_skipped=skipped,
+            failed_shards=failed,
+            replica_retries=retries,
+            latency_seconds=time.monotonic() - started,
+        )
+        self.stats.record(response)
+        return response
+
+    def search(self, query: DirectionalQuery,
+               timeout: Optional[float] = None) -> QueryResult:
+        """The merged answer alone (drop the routing diagnostics)."""
+        return self.execute(query, timeout).result
+
+    # -- introspection ---------------------------------------------------------
+
+    @property
+    def metrics(self) -> MetricsRegistry:
+        return self.stats.registry
+
+    def metrics_snapshot(self) -> Dict[str, object]:
+        """Cluster + per-shard/replica metrics as one JSON-ready dict."""
+        return self.stats.aggregate(self.shards)
+
+    def describe(self) -> str:
+        """One line per shard: population, MBR, replica health."""
+        lines = [
+            f"{self.num_shards} shards ({self.layout.partitioner}), "
+            f"replication={self.replication}"
+        ]
+        for shard in self.shards:
+            spec = shard.spec
+            healthy = sum(1 for r in shard.replicas.replicas if r.healthy)
+            lines.append(
+                f"  shard {spec.shard_id}: {len(spec):6d} POIs  "
+                f"mbr=({spec.mbr.min_x:.0f},{spec.mbr.min_y:.0f})-"
+                f"({spec.mbr.max_x:.0f},{spec.mbr.max_y:.0f})  "
+                f"replicas={healthy}/{len(shard.replicas)} healthy")
+        return "\n".join(lines)
+
+    # -- persistence ------------------------------------------------------------
+
+    def save(self, directory: str) -> None:
+        """Persist every shard index plus the cluster manifest."""
+        save_sharded([shard.index for shard in self.shards], directory,
+                     meta=self.layout.to_meta())
+
+    @classmethod
+    def load(cls, directory: str, **kwargs) -> "ShardRouter":
+        """Rebuild a router from :meth:`save` output.
+
+        Shard indexes are loaded (linear passes, no global sorts) and
+        routing stats (MBRs, document frequencies) are recomputed from the
+        shard collections; ``kwargs`` forward to the constructor
+        (replication, workers, fault injection, ...).
+        """
+        indexes, meta = load_sharded(directory)
+        id_lists = meta.get("shard_global_ids")
+        if id_lists is None or len(id_lists) != len(indexes):
+            raise ValueError(
+                f"{directory} has no usable cluster layout metadata")
+        prebuilt = []
+        for shard_id, (index, ids) in enumerate(zip(indexes, id_lists)):
+            if len(ids) != len(index.collection):
+                raise ValueError(
+                    f"shard {shard_id} holds {len(index.collection)} POIs "
+                    f"but the manifest lists {len(ids)} ids")
+            spec = _spec_from_collection(shard_id, tuple(ids),
+                                         index.collection)
+            prebuilt.append((spec, index))
+        return cls(collection=None,
+                   partitioner=meta.get("partitioner", "unknown"),
+                   _prebuilt=prebuilt, **kwargs)
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def close(self) -> None:
+        """Close every replica engine and the shared pool."""
+        for shard in self.shards:
+            shard.replicas.close()
+        self._executor.shutdown(wait=True)
+
+    def __enter__(self) -> "ShardRouter":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def _spec_from_collection(shard_id: int, global_ids: Tuple[int, ...],
+                          collection: POICollection) -> ShardSpec:
+    """Recompute a shard's routing stats from its loaded collection."""
+    from collections import Counter
+
+    df: Counter = Counter()
+    for poi in collection:
+        df.update(poi.keywords)
+    return ShardSpec(shard_id, global_ids, collection.mbr, dict(df))

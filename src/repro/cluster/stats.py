@@ -1,0 +1,84 @@
+"""Cluster-level metrics, aggregated into the PR-1 ``MetricsRegistry``.
+
+One registry serves the whole cluster.  Router-level counters record the
+scatter-gather decisions per query (shards pruned / dispatched / skipped /
+failed), and :meth:`ClusterStats.aggregate` folds every replica engine's
+private registry into one JSON-ready snapshot via the registries'
+``to_dict()`` export, so a single document describes the deployment.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+from ..service import MetricsRegistry
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from .router import ClusterResponse, Shard
+
+#: Buckets for shards-per-query histograms (counts, not seconds).
+SHARD_BUCKETS: Tuple[float, ...] = (
+    0.0, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0)
+
+
+class ClusterStats:
+    """Records scatter-gather outcomes and aggregates shard metrics."""
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None) -> None:
+        self.registry = registry if registry is not None else \
+            MetricsRegistry()
+
+    # -- per-query recording -------------------------------------------------
+
+    def record(self, response: "ClusterResponse") -> None:
+        """Fold one routed query's outcome into the registry."""
+        registry = self.registry
+        registry.counter("cluster_queries_total").increment()
+        registry.counter("cluster_shards_pruned_total").increment(
+            response.shards_pruned)
+        registry.counter("cluster_shards_keyword_pruned_total").increment(
+            response.shards_keyword_pruned)
+        registry.counter("cluster_shards_dispatched_total").increment(
+            response.shards_dispatched)
+        registry.counter("cluster_shards_skipped_total").increment(
+            response.shards_skipped)
+        registry.counter("cluster_shards_failed_total").increment(
+            len(response.failed_shards))
+        registry.counter("cluster_replica_retries_total").increment(
+            response.replica_retries)
+        if response.failed_shards:
+            registry.counter("cluster_degraded_answers_total").increment()
+        registry.histogram("cluster_query_latency_seconds").observe(
+            response.latency_seconds)
+        registry.histogram("cluster_shards_dispatched", SHARD_BUCKETS) \
+            .observe(float(response.shards_dispatched))
+        registry.histogram("cluster_shards_pruned", SHARD_BUCKETS) \
+            .observe(float(response.shards_pruned))
+
+    # -- aggregation -----------------------------------------------------------
+
+    def aggregate(self, shards: List["Shard"]) -> Dict[str, object]:
+        """One JSON-ready snapshot for the whole deployment.
+
+        ``cluster`` is the router-level registry; ``shards`` maps shard id
+        to its replicas' engine registries (cache hits, latency, pages) and
+        replica health, so degraded shards are visible at a glance.
+        """
+        return {
+            "cluster": self.registry.to_dict(),
+            "shards": {
+                str(shard.spec.shard_id): {
+                    "num_pois": len(shard.spec),
+                    "replicas": [
+                        replica.engine.metrics.to_dict()
+                        for replica in shard.replicas.replicas
+                    ],
+                    "health": shard.replicas.health_summary(),
+                }
+                for shard in shards
+            },
+        }
+
+    def render(self) -> str:
+        """Plain-text router metrics (the registry's native rendering)."""
+        return self.registry.render()

@@ -10,7 +10,7 @@ from .index import (
     recommended_bands,
     recommended_wedges,
 )
-from .persistence import load_index, save_index
+from .persistence import load_index, load_sharded, save_index, save_sharded
 from .mindist import (
     BasicQueryGeometry,
     annulus_mindist,
@@ -59,7 +59,9 @@ __all__ = [
     "basic_geometry",
     "brute_force_search",
     "load_index",
+    "load_sharded",
     "save_index",
+    "save_sharded",
     "build_term_layout",
     "polar_point",
     "recommended_bands",

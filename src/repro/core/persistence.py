@@ -12,12 +12,20 @@ Keyword stores are *not* serialized: their layout is derived from
 ``poi_order`` by a linear pass at load time (`build_term_layout` works on
 already-ordered positions), which measures faster than parsing an
 equivalent amount of posting bytes in Python and keeps the format simple.
+
+A *sharded deployment* (``repro.cluster``) is saved as one such index
+directory per shard plus a cluster-level manifest:
+
+    <dir>/meta.json        cluster version, shard count, caller metadata
+    <dir>/shard<i>/        one saved index per shard (format above)
 """
 
 from __future__ import annotations
 
 import json
 import os
+from typing import List, Optional, Sequence, Tuple
+
 from ..datasets import load_csv, save_csv
 from ..geometry import Anchor, CanonicalFrame
 from .index import AnchorIndex, DesksIndex
@@ -25,6 +33,7 @@ from .regions import AnchorRegions
 from .stores import MemoryKeywordStore
 
 FORMAT_VERSION = 1
+CLUSTER_FORMAT_VERSION = 1
 
 
 def save_index(index: DesksIndex, directory: str) -> None:
@@ -91,6 +100,62 @@ def load_index(directory: str) -> DesksIndex:
         store = MemoryKeywordStore(regions, term_ids)
         index.anchors[quadrant] = AnchorIndex(frame, regions, store)
     return index
+
+
+def save_sharded(indexes: Sequence[DesksIndex], directory: str,
+                 meta: Optional[dict] = None) -> None:
+    """Persist a sharded deployment: one index per ``<dir>/shard<i>/``.
+
+    ``meta`` is caller-owned, JSON-serializable metadata (the cluster
+    layer stores its partitioner name and local-to-global id maps here)
+    returned verbatim by :func:`load_sharded`.  All shards are checked
+    *before* any file is written, so a disk-based shard — which
+    :func:`save_index` refuses — cannot leave a half-saved deployment.
+    """
+    if not indexes:
+        raise ValueError("a sharded deployment needs at least one shard")
+    for position, index in enumerate(indexes):
+        if index.disk_based:
+            raise ValueError(
+                f"shard {position} is disk-based; save_sharded() supports "
+                "memory-store shards only (disk-based indexes already "
+                "persist through their page files)")
+    os.makedirs(directory, exist_ok=True)
+    manifest = {
+        "version": CLUSTER_FORMAT_VERSION,
+        "num_shards": len(indexes),
+        "meta": meta if meta is not None else {},
+    }
+    for position, index in enumerate(indexes):
+        save_index(index, os.path.join(directory, f"shard{position}"))
+    with open(os.path.join(directory, "meta.json"), "w",
+              encoding="utf-8") as handle:
+        json.dump(manifest, handle, indent=2)
+
+
+def load_sharded(directory: str) -> Tuple[List[DesksIndex], dict]:
+    """Load a deployment saved by :func:`save_sharded`.
+
+    Returns ``(indexes, meta)`` — the per-shard indexes in shard order and
+    the caller metadata stored at save time.
+    """
+    meta_path = os.path.join(directory, "meta.json")
+    try:
+        with open(meta_path, encoding="utf-8") as handle:
+            manifest = json.load(handle)
+    except FileNotFoundError:
+        raise FileNotFoundError(
+            f"{directory} is not a saved sharded deployment (no meta.json)"
+        ) from None
+    version = manifest.get("version")
+    if version != CLUSTER_FORMAT_VERSION:
+        raise ValueError(
+            f"saved deployment has cluster format version {version!r}; "
+            f"this library reads version {CLUSTER_FORMAT_VERSION}")
+    num_shards = manifest["num_shards"]
+    indexes = [load_index(os.path.join(directory, f"shard{position}"))
+               for position in range(num_shards)]
+    return indexes, manifest.get("meta", {})
 
 
 def _skeleton_index(meta: dict, collection) -> DesksIndex:

@@ -23,7 +23,12 @@ from .intersections import (
 )
 from .mbr import MBR
 from .point import ORIGIN, Point
-from .sector import Sector, direction_overlaps_mbr, subtended_interval
+from .sector import (
+    Sector,
+    direction_overlaps_mbr,
+    sector_intersects_mbr,
+    subtended_interval,
+)
 
 __all__ = [
     "ANGLE_EPS",
@@ -37,6 +42,7 @@ __all__ = [
     "Point",
     "Sector",
     "direction_overlaps_mbr",
+    "sector_intersects_mbr",
     "subtended_interval",
     "angle_between",
     "angle_of",

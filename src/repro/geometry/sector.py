@@ -9,6 +9,7 @@ the brute-force oracle in the tests.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import List, Optional
 
@@ -99,3 +100,28 @@ def direction_overlaps_mbr(center: Point, interval: DirectionInterval,
     if subtended is None:
         return True
     return interval.overlaps(subtended)
+
+
+def sector_intersects_mbr(center: Point, interval: DirectionInterval,
+                          mbr: MBR, radius: float = math.inf) -> bool:
+    """Can the sector ``(center, interval, radius)`` contain a point of
+    ``mbr``?
+
+    This is the shard-level pruning test of the scatter-gather layer: a
+    shard whose MBR fails it provably holds no answers, the same way
+    Lemmas 2-4 discard sub-regions inside one index.  The direction test is
+    exact (the subtended direction set of a rectangle seen from an external
+    point is a single arc); the radius test uses ``MINDIST`` and is
+    *conservative* — the nearest rectangle point may itself be out of
+    direction — so the function can return True for an empty intersection
+    but never False for a non-empty one, which is the safe side for
+    pruning.  A center on or inside the rectangle always intersects
+    (distance zero, every direction).
+    """
+    if radius < 0.0:
+        raise ValueError(f"negative sector radius {radius!r}")
+    if mbr.contains_point(center):
+        return True
+    if mbr.min_distance_to_point(center) > radius:
+        return False
+    return direction_overlaps_mbr(center, interval, mbr)

@@ -28,7 +28,6 @@ multi-process searcher drops in later.
 from __future__ import annotations
 
 import queue
-import threading
 import time
 from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import dataclass
@@ -75,7 +74,8 @@ class QueryEngine:
                  cache_capacity: int = 1024,
                  location_quantum: float = 0.0,
                  default_timeout: Optional[float] = None,
-                 metrics: Optional[MetricsRegistry] = None) -> None:
+                 metrics: Optional[MetricsRegistry] = None,
+                 executor: Optional[ThreadPoolExecutor] = None) -> None:
         if num_workers <= 0:
             raise ValueError(f"num_workers must be positive: {num_workers}")
         self.index = index
@@ -101,8 +101,14 @@ class QueryEngine:
             for _ in range(num_workers):
                 pool.put(DesksSearcher(index))
             self._searchers = pool
-        self._executor = ThreadPoolExecutor(
-            max_workers=num_workers, thread_name_prefix="desks-worker")
+        # An externally supplied executor lets many engines (e.g. the
+        # cluster's per-shard replicas) share one thread pool instead of
+        # spawning num_workers threads each; the engine then never shuts
+        # it down — its lifecycle belongs to the caller.
+        self._owns_executor = executor is None
+        self._executor = executor if executor is not None else \
+            ThreadPoolExecutor(max_workers=num_workers,
+                               thread_name_prefix="desks-worker")
         self._closed = False
 
     # -- generation ---------------------------------------------------------
@@ -176,9 +182,10 @@ class QueryEngine:
     # -- lifecycle ----------------------------------------------------------
 
     def close(self) -> None:
-        """Stop accepting work and wait for in-flight queries."""
+        """Stop accepting work; waits for in-flight queries (owned pool)."""
         self._closed = True
-        self._executor.shutdown(wait=True)
+        if self._owns_executor:
+            self._executor.shutdown(wait=True)
 
     def __enter__(self) -> "QueryEngine":
         return self

@@ -171,6 +171,23 @@ class MetricsRegistry:
     def uptime_seconds(self) -> float:
         return time.monotonic() - self._started
 
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready snapshot: every counter value and histogram summary.
+
+        The machine-readable twin of :meth:`render`, consumed by the
+        cluster stats aggregation and the CLI's ``--metrics-json``.
+        Values are plain ints/floats so ``json.dump`` works directly.
+        """
+        with self._lock:
+            counters = sorted(self._counters.values(), key=lambda c: c.name)
+            histograms = sorted(self._histograms.values(),
+                                key=lambda h: h.name)
+        return {
+            "uptime_seconds": self.uptime_seconds,
+            "counters": {c.name: c.value for c in counters},
+            "histograms": {h.name: h.snapshot() for h in histograms},
+        }
+
     def render(self) -> str:
         """Plain-text dump: one line per counter, one block per histogram.
 

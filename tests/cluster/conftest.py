@@ -1,0 +1,56 @@
+"""Shared fixtures for the sharded scatter-gather layer tests."""
+
+import random
+
+import pytest
+
+from repro.core import DesksIndex, DesksSearcher
+from repro.datasets import POI, POICollection
+
+KEYWORD_POOL = ["cafe", "food", "gas", "atm", "pizza", "bank", "hotel",
+                "park"]
+
+
+def make_collection(n=500, seed=23, extent=100.0):
+    rng = random.Random(seed)
+    return POICollection([
+        POI.make(i, rng.uniform(0, extent), rng.uniform(0, extent),
+                 rng.sample(KEYWORD_POOL, rng.randint(1, 3)))
+        for i in range(n)
+    ])
+
+
+def random_queries(rng, count, extent=100.0, pool=KEYWORD_POOL):
+    """Mixed random workload: locations inside and outside the data."""
+    import math
+
+    from repro.core import DirectionalQuery
+
+    queries = []
+    for _ in range(count):
+        margin = 0.3 * extent
+        x = rng.uniform(-margin, extent + margin)
+        y = rng.uniform(-margin, extent + margin)
+        alpha = rng.uniform(0.0, 2 * math.pi)
+        width = rng.uniform(0.05, 2 * math.pi)
+        keywords = rng.sample(pool, rng.randint(1, 2))
+        k = rng.choice([1, 3, 10])
+        queries.append(DirectionalQuery.make(x, y, alpha, alpha + width,
+                                             keywords, k))
+    return queries
+
+
+def entries_of(result):
+    """Comparable (poi_id, distance) pairs of a QueryResult."""
+    return [(e.poi_id, e.distance) for e in result.entries]
+
+
+@pytest.fixture(scope="module")
+def collection():
+    return make_collection()
+
+
+@pytest.fixture(scope="module")
+def reference(collection):
+    """Unsharded searcher — the equivalence oracle."""
+    return DesksSearcher(DesksIndex(collection, num_bands=4, num_wedges=5))

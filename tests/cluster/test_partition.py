@@ -1,0 +1,130 @@
+"""Partitioner unit tests: coverage, balance, metadata, determinism."""
+
+import pytest
+
+from repro.cluster import PARTITIONERS, build_layout, shard_collection
+from repro.datasets import POI, POICollection
+
+from .conftest import make_collection
+
+
+@pytest.mark.parametrize("partitioner", sorted(PARTITIONERS))
+@pytest.mark.parametrize("num_shards", [1, 2, 4, 8])
+def test_layout_is_exact_partition(collection, partitioner, num_shards):
+    layout = build_layout(collection, num_shards, partitioner)
+    assert layout.partitioner == partitioner
+    assert len(layout.shards) == num_shards
+    seen = []
+    for spec in layout.shards:
+        assert len(spec) > 0
+        assert list(spec.global_ids) == sorted(spec.global_ids)
+        seen.extend(spec.global_ids)
+    assert sorted(seen) == list(range(len(collection)))
+
+
+@pytest.mark.parametrize("partitioner", sorted(PARTITIONERS))
+def test_shard_mbr_and_df_describe_members(collection, partitioner):
+    layout = build_layout(collection, 4, partitioner)
+    for spec in layout.shards:
+        df = {}
+        for gid in spec.global_ids:
+            poi = collection[gid]
+            assert spec.mbr.contains_point(poi.location)
+            for kw in poi.keywords:
+                df[kw] = df.get(kw, 0) + 1
+        assert dict(spec.keyword_df) == df
+
+
+@pytest.mark.parametrize("partitioner", ["grid", "angular"])
+def test_equi_depth_balance(collection, partitioner):
+    layout = build_layout(collection, 8, partitioner)
+    sizes = [len(spec) for spec in layout.shards]
+    # Equi-depth: every shard within one row/chunk of the ideal size.
+    assert max(sizes) - min(sizes) <= len(collection) // 8
+    assert sum(sizes) == len(collection)
+
+
+def test_grid_shards_are_spatially_disjoint_in_x_columns(collection):
+    # STR-style: column extents may touch but members don't interleave
+    # arbitrarily — each shard's MBR is much smaller than the dataset MBR.
+    layout = build_layout(collection, 8, "grid")
+    full_area = collection.mbr.area()
+    shard_area = sum(spec.mbr.area() for spec in layout.shards)
+    assert shard_area < full_area  # real spatial locality, not hash noise
+
+
+def test_hash_assignment_matches_modulo(collection):
+    layout = build_layout(collection, 4, "hash")
+    for spec in layout.shards:
+        for gid in spec.global_ids:
+            assert gid % 4 == spec.shard_id
+
+
+@pytest.mark.parametrize("partitioner", sorted(PARTITIONERS))
+def test_layout_is_deterministic(collection, partitioner):
+    a = build_layout(collection, 4, partitioner)
+    b = build_layout(collection, 4, partitioner)
+    assert [s.global_ids for s in a.shards] == \
+        [s.global_ids for s in b.shards]
+
+
+def test_shard_collection_preserves_global_order_and_payload(collection):
+    layout = build_layout(collection, 4, "angular")
+    spec = layout.shards[2]
+    sub = shard_collection(collection, spec)
+    assert len(sub) == len(spec)
+    for local_id, gid in enumerate(spec.global_ids):
+        orig, copy = collection[gid], sub[local_id]
+        assert copy.poi_id == local_id
+        assert copy.location == orig.location
+        assert copy.keywords == orig.keywords
+
+
+def test_keyword_may_match(collection):
+    layout = build_layout(collection, 4, "grid")
+    spec = layout.shards[0]
+    present = next(iter(spec.keyword_df))
+    assert spec.may_match_keywords([present], require_all=True)
+    assert spec.may_match_keywords(["no-such-term"], require_all=False) \
+        is False
+    # Conjunctive query with one missing term is provably empty.
+    assert spec.may_match_keywords([present, "no-such-term"],
+                                   require_all=True) is False
+    # Disjunctive query with one present term may still match.
+    assert spec.may_match_keywords([present, "no-such-term"],
+                                   require_all=False) is True
+
+
+def test_layout_meta_round_trip_fields(collection):
+    layout = build_layout(collection, 4, "grid")
+    meta = layout.to_meta()
+    assert meta["partitioner"] == "grid"
+    assert meta["num_pois"] == len(collection)
+    assert [tuple(ids) for ids in meta["shard_global_ids"]] == \
+        [s.global_ids for s in layout.shards]
+
+
+def test_build_layout_rejects_bad_arguments(collection):
+    with pytest.raises(ValueError):
+        build_layout(collection, 0, "grid")
+    with pytest.raises(ValueError):
+        build_layout(collection, 4, "voronoi")
+    tiny = POICollection([POI.make(0, 1.0, 2.0, ["cafe"])])
+    with pytest.raises(ValueError):
+        build_layout(tiny, 2, "grid")
+
+
+def test_angular_handles_centroid_resident_poi():
+    # A POI exactly at the centroid has no defined direction; it must
+    # still land in exactly one shard.
+    pois = [POI.make(0, 0.0, 0.0, ["cafe"]), POI.make(1, 2.0, 0.0, ["gas"]),
+            POI.make(2, -2.0, 0.0, ["atm"]), POI.make(3, 0.0, 2.0, ["bank"]),
+            POI.make(4, 0.0, -2.0, ["park"])]
+    coll = POICollection(pois)
+    layout = build_layout(coll, 2, "angular")
+    seen = sorted(gid for s in layout.shards for gid in s.global_ids)
+    assert seen == [0, 1, 2, 3, 4]
+
+
+def test_collection_factory_smoke():
+    assert len(make_collection(n=50)) == 50

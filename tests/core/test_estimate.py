@@ -126,3 +126,91 @@ class TestCalibration:
         assert "estimated in-direction matches" in text
         q_dry = DirectionalQuery.make(50, 50, 0.0, 0.001, ["food"], 1000)
         assert "beyond dataset" in est.summary(q_dry)
+
+
+class TestSyntheticCalibration:
+    """The estimator on generated datasets — the satellite acceptance:
+    direction selectivity must track true in-sector fractions on uniform
+    data (and keep ranking power on clustered data), and k-th-distance
+    estimates must correlate with measured k-th distances."""
+
+    @staticmethod
+    def _dataset(cluster_fraction):
+        from repro.datasets.synthetic import SyntheticConfig, generate
+
+        return generate(SyntheticConfig(
+            name="est-cal", num_pois=3000, num_unique_terms=60,
+            avg_terms_per_poi=2.5, cluster_fraction=cluster_fraction,
+            extent=1000.0, seed=19))
+
+    @staticmethod
+    def _in_sector_fraction(collection, query, matching):
+        inside = sum(1 for poi in matching
+                     if poi.location == query.location
+                     or query.interval.contains(
+                         query.location.direction_to(poi.location)))
+        return inside / len(matching)
+
+    def test_direction_selectivity_uniform(self):
+        """Uniform data, central query: predicted fraction ~ observed."""
+        collection = self._dataset(cluster_fraction=0.0)
+        est = CardinalityEstimator(collection)
+        matching = [poi for poi in collection if "food" in poi.keywords]
+        assert len(matching) > 100
+        rng = random.Random(3)
+        for width in (math.pi / 2, math.pi, 1.5 * math.pi):
+            alpha = rng.uniform(0, 2 * math.pi)
+            q = DirectionalQuery.make(500, 500, alpha, alpha + width,
+                                      ["food"], 10)
+            predicted = est.direction_selectivity(q)
+            observed = self._in_sector_fraction(collection, q, matching)
+            assert abs(predicted - observed) < 0.12
+
+    def test_direction_selectivity_ranks_on_clustered(self):
+        """Clustered data breaks the uniform assumption pointwise, but
+        widening the interval must still widen the observed fraction."""
+        collection = self._dataset(cluster_fraction=0.9)
+        est = CardinalityEstimator(collection)
+        matching = [poi for poi in collection if "food" in poi.keywords]
+        assert len(matching) > 100
+        widths = [math.pi / 4, math.pi / 2, math.pi, 2 * math.pi]
+        observed = []
+        for width in widths:
+            q = DirectionalQuery.make(500, 500, 0.7, 0.7 + width,
+                                      ["food"], 10)
+            assert est.direction_selectivity(q) == \
+                pytest.approx(width / (2 * math.pi))
+            observed.append(
+                self._in_sector_fraction(collection, q, matching))
+        assert observed == sorted(observed)
+        assert observed[-1] == pytest.approx(1.0)
+
+    @pytest.mark.parametrize("cluster_fraction", [0.0, 0.9])
+    def test_kth_distance_correlates_with_truth(self, cluster_fraction):
+        collection = self._dataset(cluster_fraction)
+        est = CardinalityEstimator(collection)
+        rng = random.Random(29)
+        pairs = []
+        for _ in range(40):
+            alpha = rng.uniform(0, 2 * math.pi)
+            width = rng.choice([1.0, 3.0, 2 * math.pi])
+            k = rng.choice([1, 5, 25])
+            x, y = rng.uniform(300, 700), rng.uniform(300, 700)
+            q = DirectionalQuery.make(x, y, alpha, alpha + width,
+                                      ["food"], k)
+            predicted = est.estimate_kth_distance(q)
+            result = brute_force_search(collection, q)
+            if predicted is None or len(result) < k:
+                continue
+            pairs.append((predicted, result.kth_distance))
+        assert len(pairs) >= 20
+        concordant = discordant = 0
+        for i in range(len(pairs)):
+            for j in range(i + 1, len(pairs)):
+                dp = pairs[i][0] - pairs[j][0]
+                dt = pairs[i][1] - pairs[j][1]
+                if dp * dt > 0:
+                    concordant += 1
+                elif dp * dt < 0:
+                    discordant += 1
+        assert concordant > 2 * discordant

@@ -8,7 +8,6 @@ answers' distances must match a fresh search of the final interval.
 
 import math
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -1,6 +1,5 @@
 """Tests for canonical-frame transforms and sectors."""
 
-import math
 
 import pytest
 from hypothesis import assume, given

@@ -1,0 +1,103 @@
+"""``sector_intersects_mbr`` — the shard-pruning test must be conservative.
+
+The router drops a shard only when this predicate is ``False``, so the
+load-bearing property is *no false negatives*: whenever some point of the
+rectangle lies inside the (possibly radius-bounded) sector, the predicate
+must say ``True``.  False positives merely cost a dispatch.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import (
+    DirectionInterval,
+    MBR,
+    Point,
+    Sector,
+    sector_intersects_mbr,
+)
+
+BOX = MBR(10.0, 10.0, 20.0, 20.0)
+
+
+class TestKnownCases:
+    def test_center_inside_mbr_always_intersects(self):
+        interval = DirectionInterval(0.0, 0.01)
+        assert sector_intersects_mbr(Point(15, 15), interval, BOX)
+
+    def test_sector_aimed_at_box(self):
+        # From the origin the box subtends roughly [atan2(10,20), atan2(20,10)].
+        interval = DirectionInterval(math.pi / 4 - 0.1, math.pi / 4 + 0.1)
+        assert sector_intersects_mbr(Point(0, 0), interval, BOX)
+
+    def test_sector_aimed_away_from_box(self):
+        interval = DirectionInterval(math.pi, math.pi + 0.5)  # box is NE
+        assert not sector_intersects_mbr(Point(0, 0), interval, BOX)
+
+    def test_full_circle_far_away_still_intersects_without_radius(self):
+        interval = DirectionInterval(0.0, 2 * math.pi)
+        assert sector_intersects_mbr(Point(-1000, -1000), interval, BOX)
+
+    def test_radius_shorter_than_mindist_prunes(self):
+        interval = DirectionInterval(0.0, 2 * math.pi)
+        # MINDIST from origin to BOX is sqrt(200) ~ 14.14.
+        assert not sector_intersects_mbr(Point(0, 0), interval, BOX,
+                                         radius=14.0)
+        assert sector_intersects_mbr(Point(0, 0), interval, BOX,
+                                     radius=14.2)
+
+    def test_grazing_boundary_direction_counts(self):
+        # Direction exactly toward the nearest corner: closed sector.
+        corner_dir = Point(0, 0).direction_to(Point(10, 10))
+        interval = DirectionInterval(corner_dir, corner_dir)
+        assert sector_intersects_mbr(Point(0, 0), interval, BOX)
+
+    def test_negative_radius_rejected(self):
+        with pytest.raises(ValueError):
+            sector_intersects_mbr(Point(0, 0),
+                                  DirectionInterval(0.0, 1.0), BOX,
+                                  radius=-1.0)
+
+
+class TestConservativeness:
+    """Property: a witness point inside sector ∩ MBR forces ``True``."""
+
+    @settings(max_examples=300, deadline=None)
+    @given(
+        cx=st.floats(-50, 70), cy=st.floats(-50, 70),
+        alpha=st.floats(0, 2 * math.pi),
+        width=st.floats(0.01, 2 * math.pi),
+        wx=st.floats(10, 20), wy=st.floats(10, 20),
+        slack=st.floats(0.0, 30.0),
+    )
+    def test_no_false_negatives(self, cx, cy, alpha, width, wx, wy, slack):
+        center = Point(cx, cy)
+        interval = DirectionInterval(alpha, alpha + width)
+        witness = Point(wx, wy)  # inside BOX by construction
+        radius = center.distance_to(witness) + slack
+        sector = Sector(center, radius, interval)
+        if sector.contains(witness):
+            assert sector_intersects_mbr(center, interval, BOX,
+                                         radius=radius)
+
+    @settings(max_examples=300, deadline=None)
+    @given(
+        cx=st.floats(-50, 70), cy=st.floats(-50, 70),
+        alpha=st.floats(0, 2 * math.pi),
+        width=st.floats(0.01, 2 * math.pi),
+    )
+    def test_pruned_sectors_really_are_empty(self, cx, cy, alpha, width):
+        """When the predicate says False, no grid sample of BOX is inside."""
+        center = Point(cx, cy)
+        interval = DirectionInterval(alpha, alpha + width)
+        if sector_intersects_mbr(center, interval, BOX):
+            return
+        sector = Sector(center, math.inf, interval)
+        steps = 8
+        for i in range(steps + 1):
+            for j in range(steps + 1):
+                p = Point(10.0 + 10.0 * i / steps, 10.0 + 10.0 * j / steps)
+                assert not sector.contains(p)

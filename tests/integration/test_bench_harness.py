@@ -6,7 +6,6 @@ import os
 import pytest
 
 from repro.bench import (
-    RunMeasurement,
     baseline_search_fn,
     brute_force_fn,
     check_agreement,

@@ -127,3 +127,61 @@ class TestErrorHandling:
         bad.write_text("not,a,poi,file\n1,2\n")
         assert main(["stats", str(bad)]) == 2
         assert "error:" in capsys.readouterr().err
+
+
+class TestServeBench:
+    def test_sweep_and_metrics_json(self, csv_path, tmp_path, capsys):
+        import json
+
+        metrics_path = tmp_path / "metrics.json"
+        code = main(["serve-bench", str(csv_path),
+                     "--clients", "1", "2", "--requests", "10",
+                     "--queries", "5", "--think-ms", "0",
+                     "--metrics-json", str(metrics_path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "req/client" in out
+        snapshot = json.loads(metrics_path.read_text())
+        assert snapshot["counters"]["queries_total"] > 0
+        assert "histograms" in snapshot
+
+
+class TestClusterBench:
+    def test_sweep_verifies_and_writes_metrics(self, csv_path, tmp_path,
+                                               capsys):
+        import json
+
+        metrics_path = tmp_path / "cluster.json"
+        code = main(["cluster-bench", str(csv_path),
+                     "--shards", "1", "4", "--queries", "15",
+                     "--partitioner", "angular",
+                     "--metrics-json", str(metrics_path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "mismatches" in out
+        # Every sweep row must report zero mismatches.
+        for line in out.splitlines():
+            cells = line.split()
+            if cells and cells[0] in {"1", "4"}:
+                assert cells[-1] == "0"
+        snapshot = json.loads(metrics_path.read_text())
+        assert snapshot["cluster"]["counters"]["cluster_queries_total"] == 15
+        assert len(snapshot["shards"]) == 4
+
+    def test_replicated_with_faults(self, csv_path, capsys):
+        code = main(["cluster-bench", str(csv_path),
+                     "--shards", "2", "--queries", "10",
+                     "--replicas", "2", "--fault-rate", "1.0"])
+        assert code == 0
+        out = capsys.readouterr().out
+        row = [ln for ln in out.splitlines()
+               if ln.split() and ln.split()[0] == "2"][-1]
+        cells = row.split()
+        assert int(cells[3]) > 0   # retries happened
+        assert cells[4] == "0"     # but nothing degraded
+        assert cells[5] == "0"     # and answers stayed exact
+
+    def test_rejects_unknown_partitioner(self, csv_path):
+        with pytest.raises(SystemExit):
+            main(["cluster-bench", str(csv_path),
+                  "--partitioner", "voronoi"])

@@ -8,7 +8,6 @@ API rename that breaks a published snippet breaks the build.
 import re
 from pathlib import Path
 
-import pytest
 
 REPO_ROOT = Path(__file__).resolve().parents[2]
 

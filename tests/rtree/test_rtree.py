@@ -1,6 +1,5 @@
 """Tests for the R-tree: construction, invariants, range and kNN queries."""
 
-import math
 import random
 
 import pytest

@@ -6,7 +6,6 @@ import pytest
 
 from repro.core import (
     DesksSearcher,
-    DirectionalQuery,
     brute_force_search,
 )
 from repro.service import Deadline

@@ -116,3 +116,35 @@ class TestRegistry:
             t.join()
         assert reg.counter("c").value == 3000
         assert reg.histogram("h").count == 3000
+
+
+class TestToDict:
+    def test_json_ready_snapshot(self):
+        import json
+
+        reg = MetricsRegistry()
+        reg.counter("queries_total").increment(7)
+        for value in (0.001, 0.002, 0.004):
+            reg.histogram("query_latency_seconds").observe(value)
+        snap = reg.to_dict()
+        assert snap["counters"] == {"queries_total": 7}
+        latency = snap["histograms"]["query_latency_seconds"]
+        assert latency["count"] == 3
+        assert latency["min"] == pytest.approx(0.001)
+        assert latency["max"] == pytest.approx(0.004)
+        assert snap["uptime_seconds"] >= 0.0
+        json.dumps(snap)  # must round-trip through the json module as-is
+
+    def test_empty_registry(self):
+        snap = MetricsRegistry().to_dict()
+        assert snap["counters"] == {}
+        assert snap["histograms"] == {}
+
+    def test_matches_render_names(self):
+        reg = MetricsRegistry()
+        reg.counter("a_total").increment()
+        reg.histogram("b_seconds").observe(0.5)
+        snap = reg.to_dict()
+        text = reg.render()
+        for name in list(snap["counters"]) + list(snap["histograms"]):
+            assert name in text
