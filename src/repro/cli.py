@@ -24,6 +24,14 @@ Commands
     against the unsharded index, and report shard-pruning rates,
     latency, and (with replication and ``--fault-rate``) failover
     behaviour.
+``scrub``
+    Verify a saved index, sharded deployment, or durable-index directory
+    against its checksum manifests (and WAL, when present); exit 1 on
+    any corruption.
+``chaos-bench``
+    Run the durability chaos harness (:mod:`repro.durability`):
+    randomized crash/recovery trials, page-corruption injections, and a
+    WAL-overhead measurement, optionally written to a JSON report.
 """
 
 from __future__ import annotations
@@ -182,6 +190,29 @@ def build_parser() -> argparse.ArgumentParser:
     p_cluster.add_argument("--metrics-json", metavar="PATH", default=None,
                            help="write the cluster metrics snapshot "
                                 "(router + every shard/replica) to PATH")
+
+    p_scrub = sub.add_parser(
+        "scrub", help="verify a saved/durable directory's checksums")
+    p_scrub.add_argument("directory",
+                         help="saved index, sharded deployment, or "
+                              "durable index directory")
+
+    p_chaos = sub.add_parser(
+        "chaos-bench",
+        help="crash/corruption chaos trials + WAL overhead measurement")
+    p_chaos.add_argument("--pois", type=int, default=400,
+                         help="base collection size (default 400)")
+    p_chaos.add_argument("--ops", type=int, default=120,
+                         help="mutations per workload script")
+    p_chaos.add_argument("--crash-trials", type=int, default=120,
+                         help="randomized kill points (default 120)")
+    p_chaos.add_argument("--corruption-trials", type=int, default=100,
+                         help="randomized page injections (default 100)")
+    p_chaos.add_argument("--seed", type=int, default=0)
+    p_chaos.add_argument("--sync", choices=["always", "batch", "checkpoint"],
+                         default="batch", help="WAL sync policy")
+    p_chaos.add_argument("--json", metavar="PATH", default=None,
+                         help="write the full report to PATH as JSON")
     return parser
 
 
@@ -398,6 +429,94 @@ def _cmd_cluster_bench(args: argparse.Namespace) -> int:
     return exit_code
 
 
+def _cmd_scrub(args: argparse.Namespace) -> int:
+    import os
+
+    from .core import scrub_saved
+    from .durability import is_durable_dir, scrub_durable
+
+    if not os.path.isdir(args.directory):
+        print(f"error: {args.directory} is not a directory",
+              file=sys.stderr)
+        return 2
+    if is_durable_dir(args.directory):
+        report = scrub_durable(args.directory)
+        print(report.summary())
+        return 0 if report.clean else 1
+    report = scrub_saved(args.directory)
+    print(report.summary())
+    if not report.clean:
+        for path, reason in report.corrupt:
+            print(f"  corrupt: {path}: {reason}", file=sys.stderr)
+    return 0 if report.clean else 1
+
+
+def _cmd_chaos_bench(args: argparse.Namespace) -> int:
+    import json
+    import tempfile
+
+    from .durability import (
+        build_script,
+        measure_wal_overhead,
+        run_corruption_trials,
+        run_crash_trials,
+    )
+
+    collection = generate(SyntheticConfig(
+        name="chaos", num_pois=args.pois, num_unique_terms=200,
+        avg_terms_per_poi=3.0, seed=args.seed))
+    script = build_script(collection, args.ops, seed=args.seed)
+    with tempfile.TemporaryDirectory() as workdir:
+        started = time.perf_counter()
+        crash = run_crash_trials(collection, script, args.crash_trials,
+                                 seed=args.seed, workdir=workdir,
+                                 sync=args.sync)
+        print(f"crash trials: {crash.summary()} "
+              f"({time.perf_counter() - started:.1f} s)")
+        for failure in crash.failures():
+            print(f"  FAILED trial {failure.trial}: "
+                  f"{'; '.join(failure.mismatches)}", file=sys.stderr)
+        started = time.perf_counter()
+        corruption = run_corruption_trials(
+            collection, args.corruption_trials, seed=args.seed,
+            workdir=workdir)
+        print(f"corruption trials: {corruption.summary()} "
+              f"({time.perf_counter() - started:.1f} s)")
+        overhead = measure_wal_overhead(collection, script, workdir,
+                                        sync=args.sync)
+    print(f"WAL overhead ({args.sync}): "
+          f"{100.0 * overhead['overhead_fraction']:.1f}% "
+          f"({overhead['plain_ops_per_sec']:.0f} -> "
+          f"{overhead['durable_ops_per_sec']:.0f} ops/s)")
+    ok = crash.all_identical and corruption.all_surfaced
+    if args.json:
+        payload = {
+            "config": {
+                "pois": args.pois, "ops": args.ops, "seed": args.seed,
+                "sync": args.sync,
+                "crash_trials": args.crash_trials,
+                "corruption_trials": args.corruption_trials,
+            },
+            "crash": {
+                "trials": crash.total,
+                "identical": crash.identical,
+                "failures": [f.mismatches for f in crash.failures()],
+            },
+            "corruption": {
+                "trials": corruption.total,
+                "undetected": corruption.undetected,
+                "silent_wrong": corruption.silent_wrong,
+            },
+            "wal_overhead": overhead,
+            "ok": ok,
+        }
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote chaos report to {args.json}")
+    return 0 if ok else 1
+
+
 _COMMANDS = {
     "generate": _cmd_generate,
     "stats": _cmd_stats,
@@ -406,6 +525,8 @@ _COMMANDS = {
     "bench": _cmd_bench,
     "serve-bench": _cmd_serve_bench,
     "cluster-bench": _cmd_cluster_bench,
+    "scrub": _cmd_scrub,
+    "chaos-bench": _cmd_chaos_bench,
 }
 
 

@@ -29,6 +29,7 @@ from typing import List, Optional, Tuple, Union
 
 from ..core import DesksIndex, DirectionalQuery, MutableDesksIndex, PruningMode
 from ..service import MetricsRegistry, QueryEngine, ServiceResponse
+from ..storage import PageCorruptionError
 
 
 class InjectedFault(RuntimeError):
@@ -136,6 +137,12 @@ class Replica:
         self.healthy = True
         self.consecutive_failures = 0
         self.total_failures = 0
+        #: Set on detected data corruption.  Unlike ``healthy`` (which
+        #: recovers on the next successful probe), quarantine is sticky:
+        #: a replica serving damaged pages must not be retried until an
+        #: operator scrubs/restores it and calls :meth:`release`.
+        self.quarantined = False
+        self.quarantine_cause: Optional[str] = None
         self._lock = threading.Lock()
 
     def mark_success(self) -> None:
@@ -149,6 +156,20 @@ class Replica:
             self.total_failures += 1
             if self.consecutive_failures >= self.health_threshold:
                 self.healthy = False
+
+    def quarantine(self, cause: str) -> None:
+        with self._lock:
+            self.quarantined = True
+            self.quarantine_cause = cause
+            self.healthy = False
+
+    def release(self) -> None:
+        """Operator action after repair: eligible for traffic again."""
+        with self._lock:
+            self.quarantined = False
+            self.quarantine_cause = None
+            self.consecutive_failures = 0
+            self.healthy = True
 
 
 class ReplicaSet:
@@ -189,11 +210,16 @@ class ReplicaSet:
         return len(self.replicas)
 
     def _attempt_order(self) -> List[Replica]:
-        """Healthy replicas first (rotating start), unhealthy last."""
+        """Healthy replicas first (rotating start), unhealthy last.
+
+        Quarantined replicas are excluded outright — an unhealthy replica
+        gets recovery probes because transient faults heal, but detected
+        corruption does not heal by retrying."""
         with self._lock:
             start = self._rotation
             self._rotation = (self._rotation + 1) % len(self.replicas)
-        rotated = (self.replicas[start:] + self.replicas[:start])
+        rotated = [r for r in (self.replicas[start:] + self.replicas[:start])
+                   if not r.quarantined]
         return ([r for r in rotated if r.healthy]
                 + [r for r in rotated if not r.healthy])
 
@@ -215,6 +241,10 @@ class ReplicaSet:
                     self.fault_injector.before_call(
                         self.shard_id, replica.replica_id)
                 response = replica.engine.execute(query, timeout)
+            except PageCorruptionError as exc:
+                self._quarantine(replica, str(exc))
+                last_error = exc
+                continue
             except Exception as exc:  # noqa: BLE001 - converted to failover
                 replica.mark_failure()
                 last_error = exc
@@ -222,9 +252,27 @@ class ReplicaSet:
                     self.metrics.counter(
                         "cluster_replica_failures_total").increment()
                 continue
+            if response.degraded:
+                # The engine already caught the corruption and refused to
+                # answer; treat it exactly like the raised form — park the
+                # replica and fail over to one with intact pages.
+                cause = response.failure_cause or "degraded response"
+                self._quarantine(replica, cause)
+                last_error = PageCorruptionError(-1, cause, None)
+                continue
             replica.mark_success()
             return response, attempts - 1
         raise ShardUnavailableError(self.shard_id, attempts, last_error)
+
+    def _quarantine(self, replica: Replica, cause: str) -> None:
+        replica.quarantine(cause)
+        if self.metrics is not None:
+            self.metrics.counter(
+                "cluster_replicas_quarantined_total").increment()
+
+    def quarantined_replicas(self) -> List[int]:
+        """Replica ids currently parked for corruption."""
+        return [r.replica_id for r in self.replicas if r.quarantined]
 
     def health_summary(self) -> List[dict]:
         """Per-replica health for stats/CLI output."""

@@ -51,7 +51,7 @@ from ..core import (
 )
 from ..datasets import POICollection
 from ..geometry import sector_intersects_mbr
-from ..service import MetricsRegistry
+from ..service import Deadline, MetricsRegistry
 from .partition import ClusterLayout, ShardSpec, build_layout, shard_collection
 from .replica import FaultInjector, ReplicaSet, ShardUnavailableError
 from .stats import ClusterStats
@@ -87,8 +87,14 @@ class ClusterResponse:
     shards_dispatched: int
     shards_skipped: int             # early termination (k-th bound)
     failed_shards: List[int] = field(default_factory=list)
+    #: Shards that currently hold >= 1 corruption-quarantined replica.
+    #: The answer may still be complete (failover found intact replicas),
+    #: but the operator signal must travel with the response.
+    quarantined_shards: List[int] = field(default_factory=list)
     replica_retries: int = 0
     latency_seconds: float = 0.0
+    #: The query's deadline expired before every wave was dispatched.
+    deadline_expired: bool = False
 
     @property
     def degraded(self) -> bool:
@@ -196,8 +202,16 @@ class ShardRouter:
 
     def execute(self, query: DirectionalQuery,
                 timeout: Optional[float] = None) -> ClusterResponse:
-        """Scatter ``query`` to the relevant shards and gather the top-k."""
+        """Scatter ``query`` to the relevant shards and gather the top-k.
+
+        ``timeout`` becomes one :class:`~repro.service.Deadline` spanning
+        the whole scatter-gather: each wave's shard calls receive only the
+        *remaining* budget, and once the budget is gone, waves stop
+        dispatching — the shards not yet reached are counted as skipped
+        and the answer is flagged partial.
+        """
         started = time.monotonic()
+        deadline = Deadline.from_timeout(timeout)
         survivors, keyword_pruned, sector_pruned = self.plan(query)
 
         merged: List[ResultEntry] = []
@@ -206,8 +220,18 @@ class ShardRouter:
         retries = 0
         dispatched = skipped = 0
         partial = False
+        deadline_expired = False
         position = 0
         while position < len(survivors):
+            if deadline.expired():
+                # Budget exhausted between waves: everything still queued
+                # is abandoned, and the merged best-so-far ships partial.
+                deadline_expired = True
+                partial = True
+                skipped += len(survivors) - position
+                break
+            shard_timeout = (None if deadline.is_unbounded
+                             else deadline.remaining())
             wave: List[Tuple[Shard, "Future"]] = []
             while position < len(survivors) and len(wave) < self.max_fanout:
                 mindist, shard = survivors[position]
@@ -223,7 +247,7 @@ class ShardRouter:
                     continue
                 wave.append((shard,
                              self._executor.submit(shard.replicas.execute,
-                                                   query, timeout)))
+                                                   query, shard_timeout)))
             dispatched += len(wave)
             for shard, future in wave:
                 try:
@@ -241,6 +265,8 @@ class ShardRouter:
             if len(merged) == query.k:
                 kth_bound = merged[-1].distance
 
+        quarantined = [shard.spec.shard_id for shard in self.shards
+                       if shard.replicas.quarantined_replicas()]
         response = ClusterResponse(
             query=query,
             result=QueryResult(merged, partial=partial),
@@ -250,8 +276,10 @@ class ShardRouter:
             shards_dispatched=dispatched,
             shards_skipped=skipped,
             failed_shards=failed,
+            quarantined_shards=quarantined,
             replica_retries=retries,
             latency_seconds=time.monotonic() - started,
+            deadline_expired=deadline_expired,
         )
         self.stats.record(response)
         return response

@@ -10,7 +10,16 @@ from .index import (
     recommended_bands,
     recommended_wedges,
 )
-from .persistence import load_index, load_sharded, save_index, save_sharded
+from .persistence import (
+    MissingPersistenceFile,
+    PersistenceError,
+    SavedScrubReport,
+    load_index,
+    load_sharded,
+    save_index,
+    save_sharded,
+    scrub_saved,
+)
 from .mindist import (
     BasicQueryGeometry,
     annulus_mindist,
@@ -45,8 +54,11 @@ __all__ = [
     "IncrementalSearcher",
     "MatchMode",
     "MemoryKeywordStore",
+    "MissingPersistenceFile",
     "MutableDesksIndex",
+    "PersistenceError",
     "PruningMode",
+    "SavedScrubReport",
     "BandTrace",
     "QueryResult",
     "QueryTrace",
@@ -62,6 +74,7 @@ __all__ = [
     "load_sharded",
     "save_index",
     "save_sharded",
+    "scrub_saved",
     "build_term_layout",
     "polar_point",
     "recommended_bands",

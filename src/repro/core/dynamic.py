@@ -67,6 +67,28 @@ class MutableDesksIndex:
                                  self._num_wedges)
         self._searcher = DesksSearcher(self._index)
 
+    @classmethod
+    def from_static(cls, index: DesksIndex,
+                    rebuild_threshold: float = 0.25) -> "MutableDesksIndex":
+        """Adopt an already-built static index (e.g. one loaded from disk)
+        without paying the four global sorts a fresh build costs."""
+        instance = cls.__new__(cls)
+        if not 0.0 < rebuild_threshold <= 1.0:
+            raise ValueError(
+                f"rebuild_threshold must be in (0, 1]: {rebuild_threshold}")
+        instance._num_bands = index.num_bands
+        instance._num_wedges = index.num_wedges
+        instance.rebuild_threshold = rebuild_threshold
+        instance._delta = []
+        instance._deleted = set()
+        instance.rebuild_count = 0
+        instance._generation = 0
+        instance._listeners = []
+        instance._lock = threading.RLock()
+        instance._index = index
+        instance._searcher = DesksSearcher(index)
+        return instance
+
     # -- state -----------------------------------------------------------
 
     @property
@@ -83,6 +105,12 @@ class MutableDesksIndex:
     def io_stats(self):
         """The current static index's I/O counters (resets on rebuild)."""
         return self._index.io_stats
+
+    @property
+    def static_index(self) -> DesksIndex:
+        """The current static index (what :func:`~repro.core.save_index`
+        persists after :meth:`compact`)."""
+        return self._index
 
     @property
     def generation(self) -> int:
@@ -143,6 +171,19 @@ class MutableDesksIndex:
             if (len(self._deleted) > self.rebuild_threshold
                     * max(len(self.collection), 1) and len(self) > 0):
                 self._rebuild()
+            self._bump_generation()
+            return True
+
+    def compact(self) -> bool:
+        """Absorb the delta buffer and tombstones into the static index
+        now (checkpointing uses this so a snapshot of the static index
+        captures the full visible state).  Returns True when a rebuild
+        actually ran.  Counts as a mutation: ids may be re-densified and
+        the generation is bumped, exactly as for a threshold rebuild."""
+        with self._lock:
+            if not self._delta and not self._deleted:
+                return False
+            self._rebuild()
             self._bump_generation()
             return True
 

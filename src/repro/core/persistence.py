@@ -1,4 +1,4 @@
-"""Saving and loading a built DESKS index.
+"""Saving and loading a built DESKS index — crash-safely.
 
 Building the index costs four global sorts over the whole collection;
 loading a saved one costs only linear passes.  An index directory is
@@ -7,6 +7,7 @@ self-contained:
     <dir>/meta.json        version, N, M, anchors, POI count
     <dir>/pois.csv         the collection (library CSV format)
     <dir>/anchor<i>.bin    one region-skeleton blob per anchor
+    <dir>/checksums.json   CRC32C + length per file (scrub manifest)
 
 Keyword stores are *not* serialized: their layout is derived from
 ``poi_order`` by a linear pass at load time (`build_term_layout` works on
@@ -18,88 +19,72 @@ directory per shard plus a cluster-level manifest:
 
     <dir>/meta.json        cluster version, shard count, caller metadata
     <dir>/shard<i>/        one saved index per shard (format above)
+
+**Durability.**  Both save paths are atomic at the directory level: files
+are written (and fsynced) into a temporary sibling, which is renamed over
+the target only once complete — a crash mid-save leaves either the old
+save or the new one, never a half-written mix.  Every data file's CRC32C
+lands in ``checksums.json`` so :func:`scrub_saved` can verify a deployment
+end to end, and loads raise typed errors — :class:`PersistenceError` /
+:class:`MissingPersistenceFile` — instead of bare ``KeyError`` or
+``FileNotFoundError`` when handed a damaged directory.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import shutil
+from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple
 
 from ..datasets import load_csv, save_csv
 from ..geometry import Anchor, CanonicalFrame
+from ..storage import crc32c
 from .index import AnchorIndex, DesksIndex
 from .regions import AnchorRegions
 from .stores import MemoryKeywordStore
 
 FORMAT_VERSION = 1
 CLUSTER_FORMAT_VERSION = 1
+CHECKSUMS_FILE = "checksums.json"
 
 
-def save_index(index: DesksIndex, directory: str) -> None:
+class PersistenceError(ValueError):
+    """A saved index/deployment is structurally invalid or corrupt."""
+
+
+class MissingPersistenceFile(PersistenceError, FileNotFoundError):
+    """A file the save format promises is absent.
+
+    Subclasses both :class:`PersistenceError` (it is a persistence
+    problem) and :class:`FileNotFoundError` (so pre-existing callers that
+    caught the untyped error keep working).
+    """
+
+
+# -- saving ---------------------------------------------------------------
+
+
+def save_index(index: DesksIndex, directory: str,
+               extra_files: Optional[dict] = None) -> None:
     """Persist ``index`` (memory-store variant) into ``directory``.
+
+    Atomic: the files are staged in a temporary sibling directory and
+    renamed into place, so ``directory`` never holds a partial save.
+    ``extra_files`` (name -> bytes) ride along inside the same atomic
+    swap and checksum manifest — the durability layer stores its WAL
+    op-sequence marker this way so snapshot and marker can never diverge.
 
     Disk-backed indexes already live in page files tied to their configured
     paths; persisting those means copying the page files, which is the
     caller's business — this helper refuses them to avoid a silent
     half-save.
     """
-    if index.disk_based:
-        raise ValueError(
-            "save_index() supports memory-store indexes; a disk-based "
-            "index already persists through its page files")
-    os.makedirs(directory, exist_ok=True)
-    meta = {
-        "version": FORMAT_VERSION,
-        "num_bands": index.num_bands,
-        "num_wedges": index.num_wedges,
-        "num_pois": len(index.collection),
-        "anchors": index.built_anchors(),
-    }
-    with open(os.path.join(directory, "meta.json"), "w",
-              encoding="utf-8") as handle:
-        json.dump(meta, handle, indent=2)
-    save_csv(index.collection, os.path.join(directory, "pois.csv"))
-    for quadrant in index.built_anchors():
-        blob = index.anchors[quadrant].regions.to_blob()
-        with open(os.path.join(directory, f"anchor{quadrant}.bin"),
-                  "wb") as handle:
-            handle.write(blob)
-
-
-def load_index(directory: str) -> DesksIndex:
-    """Load an index saved by :func:`save_index`."""
-    meta_path = os.path.join(directory, "meta.json")
-    try:
-        with open(meta_path, encoding="utf-8") as handle:
-            meta = json.load(handle)
-    except FileNotFoundError:
-        raise FileNotFoundError(
-            f"{directory} is not a saved DESKS index (no meta.json)"
-        ) from None
-    version = meta.get("version")
-    if version != FORMAT_VERSION:
-        raise ValueError(
-            f"saved index has format version {version!r}; this library "
-            f"reads version {FORMAT_VERSION}")
-    collection = load_csv(os.path.join(directory, "pois.csv"))
-    if len(collection) != meta["num_pois"]:
-        raise ValueError(
-            f"meta.json promises {meta['num_pois']} POIs but pois.csv "
-            f"holds {len(collection)}")
-
-    index = _skeleton_index(meta, collection)
-    term_ids = [collection.term_ids(i) for i in range(len(collection))]
-    for quadrant in meta["anchors"]:
-        path = os.path.join(directory, f"anchor{quadrant}.bin")
-        with open(path, "rb") as handle:
-            blob = handle.read()
-        frame = CanonicalFrame(Anchor(quadrant), collection.mbr)
-        regions = AnchorRegions.from_blob(
-            frame, [p.location for p in collection], blob)
-        store = MemoryKeywordStore(regions, term_ids)
-        index.anchors[quadrant] = AnchorIndex(frame, regions, store)
-    return index
+    _refuse_disk_based(index)
+    _atomic_directory_swap(
+        directory,
+        lambda staging: _write_index_files(index, staging, extra_files))
 
 
 def save_sharded(indexes: Sequence[DesksIndex], directory: str,
@@ -109,8 +94,9 @@ def save_sharded(indexes: Sequence[DesksIndex], directory: str,
     ``meta`` is caller-owned, JSON-serializable metadata (the cluster
     layer stores its partitioner name and local-to-global id maps here)
     returned verbatim by :func:`load_sharded`.  All shards are checked
-    *before* any file is written, so a disk-based shard — which
-    :func:`save_index` refuses — cannot leave a half-saved deployment.
+    *before* any file is written, and the whole deployment is staged then
+    renamed into place in one step, so a half-written deployment cannot
+    appear at ``directory`` — not even on a crash mid-save.
     """
     if not indexes:
         raise ValueError("a sharded deployment needs at least one shard")
@@ -120,42 +106,322 @@ def save_sharded(indexes: Sequence[DesksIndex], directory: str,
                 f"shard {position} is disk-based; save_sharded() supports "
                 "memory-store shards only (disk-based indexes already "
                 "persist through their page files)")
-    os.makedirs(directory, exist_ok=True)
     manifest = {
         "version": CLUSTER_FORMAT_VERSION,
         "num_shards": len(indexes),
         "meta": meta if meta is not None else {},
     }
-    for position, index in enumerate(indexes):
-        save_index(index, os.path.join(directory, f"shard{position}"))
-    with open(os.path.join(directory, "meta.json"), "w",
-              encoding="utf-8") as handle:
-        json.dump(manifest, handle, indent=2)
+
+    def write(staging: str) -> None:
+        for position, index in enumerate(indexes):
+            shard_dir = os.path.join(staging, f"shard{position}")
+            os.makedirs(shard_dir)
+            _write_index_files(index, shard_dir)
+        _write_file(os.path.join(staging, "meta.json"),
+                    _json_bytes(manifest))
+
+    _atomic_directory_swap(directory, write)
 
 
-def load_sharded(directory: str) -> Tuple[List[DesksIndex], dict]:
+def _refuse_disk_based(index: DesksIndex) -> None:
+    if index.disk_based:
+        raise ValueError(
+            "save_index() supports memory-store indexes; a disk-based "
+            "index already persists through its page files")
+
+
+def _write_index_files(index: DesksIndex, directory: str,
+                       extra_files: Optional[dict] = None) -> None:
+    """Write one index's files plus its checksum manifest into
+    ``directory`` (which must already exist)."""
+    meta = {
+        "version": FORMAT_VERSION,
+        "num_bands": index.num_bands,
+        "num_wedges": index.num_wedges,
+        "num_pois": len(index.collection),
+        "anchors": index.built_anchors(),
+    }
+    names = ["meta.json", "pois.csv"]
+    _write_file(os.path.join(directory, "meta.json"), _json_bytes(meta))
+    save_csv(index.collection, os.path.join(directory, "pois.csv"))
+    for quadrant in index.built_anchors():
+        name = f"anchor{quadrant}.bin"
+        _write_file(os.path.join(directory, name),
+                    index.anchors[quadrant].regions.to_blob())
+        names.append(name)
+    for name, blob in sorted((extra_files or {}).items()):
+        _write_file(os.path.join(directory, name), blob)
+        names.append(name)
+    manifest = {"version": 1, "files": {}}
+    for name in names:
+        blob = _read_file(os.path.join(directory, name))
+        manifest["files"][name] = {"crc32c": crc32c(blob),
+                                   "bytes": len(blob)}
+    _write_file(os.path.join(directory, CHECKSUMS_FILE),
+                _json_bytes(manifest))
+
+
+def _atomic_directory_swap(directory: str, write) -> None:
+    """Run ``write(staging_dir)`` then rename the staging dir over
+    ``directory``; the target is at all times either absent, the old
+    save, or the completed new one."""
+    directory = directory.rstrip("/") or directory
+    parent = os.path.dirname(os.path.abspath(directory))
+    os.makedirs(parent, exist_ok=True)
+    staging = directory + ".saving"
+    displaced = directory + ".displaced"
+    for leftover in (staging, displaced):
+        if os.path.isdir(leftover):  # a previous save crashed mid-swap
+            shutil.rmtree(leftover)
+    os.makedirs(staging)
+    try:
+        write(staging)
+    except BaseException:
+        shutil.rmtree(staging, ignore_errors=True)
+        raise
+    if os.path.exists(directory):
+        os.rename(directory, displaced)
+        os.rename(staging, directory)
+        shutil.rmtree(displaced)
+    else:
+        os.rename(staging, directory)
+
+
+def _write_file(path: str, blob: bytes) -> None:
+    with open(path, "wb") as handle:
+        handle.write(blob)
+        handle.flush()
+        os.fsync(handle.fileno())
+
+
+def _read_file(path: str) -> bytes:
+    with open(path, "rb") as handle:
+        return handle.read()
+
+
+def _json_bytes(payload: dict) -> bytes:
+    return json.dumps(payload, indent=2).encode("utf-8")
+
+
+# -- loading --------------------------------------------------------------
+
+
+def load_index(directory: str, verify: bool = False) -> DesksIndex:
+    """Load an index saved by :func:`save_index`.
+
+    With ``verify=True`` every file is first checked against the save's
+    checksum manifest, turning silent bit rot into a typed
+    :class:`PersistenceError` before any bytes are parsed.
+    """
+    if verify:
+        _require_clean(scrub_saved(directory))
+    meta = _load_json(os.path.join(directory, "meta.json"),
+                      f"{directory} is not a saved DESKS index")
+    version = meta.get("version")
+    if version != FORMAT_VERSION:
+        raise PersistenceError(
+            f"saved index has format version {version!r}; this library "
+            f"reads version {FORMAT_VERSION}")
+    for key in ("num_bands", "num_wedges", "num_pois", "anchors"):
+        if key not in meta:
+            raise PersistenceError(
+                f"meta.json in {directory} lacks required key {key!r}")
+    pois_path = os.path.join(directory, "pois.csv")
+    if not os.path.exists(pois_path):
+        raise MissingPersistenceFile(
+            f"{directory} lacks pois.csv (half-written save?)")
+    collection = load_csv(pois_path)
+    if len(collection) != meta["num_pois"]:
+        raise PersistenceError(
+            f"meta.json promises {meta['num_pois']} POIs but pois.csv "
+            f"holds {len(collection)}")
+
+    index = _skeleton_index(meta, collection)
+    term_ids = [collection.term_ids(i) for i in range(len(collection))]
+    for quadrant in meta["anchors"]:
+        path = os.path.join(directory, f"anchor{quadrant}.bin")
+        try:
+            blob = _read_file(path)
+        except FileNotFoundError:
+            raise MissingPersistenceFile(
+                f"{directory} lacks anchor{quadrant}.bin promised by "
+                "meta.json") from None
+        frame = CanonicalFrame(Anchor(quadrant), collection.mbr)
+        regions = AnchorRegions.from_blob(
+            frame, [p.location for p in collection], blob)
+        store = MemoryKeywordStore(regions, term_ids)
+        index.anchors[quadrant] = AnchorIndex(frame, regions, store)
+    return index
+
+
+def load_sharded(directory: str,
+                 verify: bool = False) -> Tuple[List[DesksIndex], dict]:
     """Load a deployment saved by :func:`save_sharded`.
 
     Returns ``(indexes, meta)`` — the per-shard indexes in shard order and
-    the caller metadata stored at save time.
+    the caller metadata stored at save time.  The manifest is validated
+    against the actual directory contents (shard count, directories
+    present) before any shard is parsed, so a half-written deployment
+    surfaces as a typed :class:`PersistenceError` rather than a bare
+    ``KeyError`` deep inside a shard load.
     """
-    meta_path = os.path.join(directory, "meta.json")
-    try:
-        with open(meta_path, encoding="utf-8") as handle:
-            manifest = json.load(handle)
-    except FileNotFoundError:
-        raise FileNotFoundError(
-            f"{directory} is not a saved sharded deployment (no meta.json)"
-        ) from None
+    manifest = _load_json(
+        os.path.join(directory, "meta.json"),
+        f"{directory} is not a saved sharded deployment")
     version = manifest.get("version")
     if version != CLUSTER_FORMAT_VERSION:
-        raise ValueError(
+        raise PersistenceError(
             f"saved deployment has cluster format version {version!r}; "
             f"this library reads version {CLUSTER_FORMAT_VERSION}")
-    num_shards = manifest["num_shards"]
-    indexes = [load_index(os.path.join(directory, f"shard{position}"))
-               for position in range(num_shards)]
-    return indexes, manifest.get("meta", {})
+    num_shards = manifest.get("num_shards")
+    if not isinstance(num_shards, int) or num_shards < 1:
+        raise PersistenceError(
+            f"manifest in {directory} has invalid num_shards "
+            f"{num_shards!r}")
+    shard_dirs = [os.path.join(directory, f"shard{position}")
+                  for position in range(num_shards)]
+    missing = [d for d in shard_dirs if not os.path.isdir(d)]
+    if missing:
+        raise MissingPersistenceFile(
+            f"manifest promises {num_shards} shard(s) but "
+            f"{os.path.basename(missing[0])} is absent from {directory} "
+            "(half-written deployment?)")
+    present = sorted(
+        name for name in os.listdir(directory)
+        if name.startswith("shard")
+        and os.path.isdir(os.path.join(directory, name)))
+    if len(present) != num_shards:
+        raise PersistenceError(
+            f"manifest promises {num_shards} shard(s) but {directory} "
+            f"holds {len(present)}: {present}")
+    meta = manifest.get("meta", {})
+    id_lists = meta.get("shard_global_ids") if isinstance(meta, dict) \
+        else None
+    if id_lists is not None and len(id_lists) != num_shards:
+        raise PersistenceError(
+            f"manifest lists global ids for {len(id_lists)} shard(s) "
+            f"but promises {num_shards}")
+    indexes = [load_index(shard_dir, verify=verify)
+               for shard_dir in shard_dirs]
+    return indexes, meta
+
+
+def _load_json(path: str, what: str) -> dict:
+    try:
+        blob = _read_file(path)
+    except FileNotFoundError:
+        raise MissingPersistenceFile(f"{what} (no meta.json)") from None
+    try:
+        parsed = json.loads(blob.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise PersistenceError(
+            f"{what} ({os.path.basename(path)} is not valid JSON: {exc})"
+        ) from None
+    if not isinstance(parsed, dict):
+        raise PersistenceError(
+            f"{what} ({os.path.basename(path)} holds {type(parsed).__name__},"
+            " not an object)")
+    return parsed
+
+
+# -- scrubbing ------------------------------------------------------------
+
+
+@dataclass
+class SavedScrubReport:
+    """Outcome of verifying a saved index/deployment against its
+    checksum manifests."""
+
+    files_checked: int = 0
+    #: ``(path, reason)`` for every file that failed verification.
+    corrupt: List[Tuple[str, str]] = field(default_factory=list)
+    #: Directories that predate checksum manifests (unverifiable).
+    unverified_dirs: List[str] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return not self.corrupt
+
+    def merge(self, other: "SavedScrubReport") -> None:
+        self.files_checked += other.files_checked
+        self.corrupt.extend(other.corrupt)
+        self.unverified_dirs.extend(other.unverified_dirs)
+
+    def summary(self) -> str:
+        state = ("clean" if self.clean
+                 else f"{len(self.corrupt)} corrupt file(s)")
+        extra = (f", {len(self.unverified_dirs)} dir(s) without manifests"
+                 if self.unverified_dirs else "")
+        return f"verified {self.files_checked} file(s): {state}{extra}"
+
+
+def scrub_saved(directory: str) -> SavedScrubReport:
+    """Verify every file of a saved index *or* sharded deployment.
+
+    Never raises on corruption — the report lists what failed and why, so
+    operators (and the CLI ``scrub`` command) can act on the whole picture
+    instead of the first bad byte.
+    """
+    if not os.path.isdir(directory):
+        raise MissingPersistenceFile(f"{directory} does not exist")
+    manifest_path = os.path.join(directory, "meta.json")
+    num_shards = None
+    if os.path.exists(manifest_path):
+        try:
+            parsed = _load_json(manifest_path, directory)
+        except PersistenceError:
+            parsed = {}
+        raw = parsed.get("num_shards")
+        num_shards = raw if isinstance(raw, int) else None
+    if num_shards is not None:
+        report = SavedScrubReport()
+        for position in range(num_shards):
+            shard_dir = os.path.join(directory, f"shard{position}")
+            if not os.path.isdir(shard_dir):
+                report.corrupt.append(
+                    (shard_dir, "shard directory promised by manifest "
+                     "is absent"))
+                continue
+            report.merge(_scrub_index_dir(shard_dir))
+        return report
+    return _scrub_index_dir(directory)
+
+
+def _scrub_index_dir(directory: str) -> SavedScrubReport:
+    report = SavedScrubReport()
+    manifest_path = os.path.join(directory, CHECKSUMS_FILE)
+    if not os.path.exists(manifest_path):
+        report.unverified_dirs.append(directory)
+        return report
+    try:
+        manifest = _load_json(manifest_path, directory)
+        files = manifest["files"]
+    except (PersistenceError, KeyError):
+        report.corrupt.append((manifest_path, "unreadable checksum "
+                               "manifest"))
+        return report
+    for name, expected in sorted(files.items()):
+        path = os.path.join(directory, name)
+        report.files_checked += 1
+        if not os.path.exists(path):
+            report.corrupt.append((path, "missing"))
+            continue
+        blob = _read_file(path)
+        if len(blob) != expected.get("bytes"):
+            report.corrupt.append(
+                (path, f"length {len(blob)} != recorded "
+                 f"{expected.get('bytes')}"))
+        elif crc32c(blob) != expected.get("crc32c"):
+            report.corrupt.append((path, "checksum mismatch"))
+    return report
+
+
+def _require_clean(report: SavedScrubReport) -> None:
+    if not report.clean:
+        path, reason = report.corrupt[0]
+        raise PersistenceError(
+            f"saved files failed verification ({len(report.corrupt)} "
+            f"problem(s); first: {path}: {reason})")
 
 
 def _skeleton_index(meta: dict, collection) -> DesksIndex:

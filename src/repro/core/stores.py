@@ -241,6 +241,15 @@ class DiskKeywordStore:
         """Bytes appended to the record file."""
         return self._file.size_in_bytes
 
+    @property
+    def page_store(self):
+        """The page store beneath the record file (scrub/injection)."""
+        return self._file.page_store
+
+    def flush(self) -> None:
+        """Write back dirty buffered pages."""
+        self._file.flush()
+
     def drop_cache(self) -> None:
         """Evict the buffer pool (cold-cache measurements)."""
         self._file.drop_cache()
@@ -340,6 +349,15 @@ class CompressedDiskKeywordStore:
     def size_bytes(self) -> int:
         """Bytes appended to the record file."""
         return self._file.size_in_bytes
+
+    @property
+    def page_store(self):
+        """The page store beneath the record file (scrub/injection)."""
+        return self._file.page_store
+
+    def flush(self) -> None:
+        """Write back dirty buffered pages."""
+        self._file.flush()
 
     def drop_cache(self) -> None:
         """Evict the buffer pool (cold-cache measurements)."""

@@ -41,7 +41,7 @@ from ..core import (
     PruningMode,
     QueryResult,
 )
-from ..storage import SearchStats
+from ..storage import PageCorruptionError, SearchStats
 from .cache import ResultCache
 from .deadline import Deadline
 from .metrics import MetricsRegistry, PAGES_BUCKETS
@@ -57,6 +57,12 @@ class ServiceResponse:
     generation: int
     latency_seconds: float
     stats: Optional[SearchStats] = None
+    #: Storage-level damage pre-empted the search: ``result`` holds
+    #: whatever the engine can still vouch for (currently nothing) and
+    #: ``failure_cause`` says what was hit.  Degraded answers are never
+    #: cached — the page may be repaired before the next request.
+    degraded: bool = False
+    failure_cause: Optional[str] = None
 
     @property
     def partial(self) -> bool:
@@ -136,7 +142,19 @@ class QueryEngine:
             timeout if timeout is not None else self.default_timeout)
         stats = SearchStats()
         io_before = self._io_snapshot()
-        result = self._search(query, stats, deadline)
+        try:
+            result = self._search(query, stats, deadline)
+        except PageCorruptionError as exc:
+            # Verification failed mid-search: refuse to guess.  The query
+            # gets an explicitly degraded, partial, uncached answer — a
+            # healthy replica (cluster layer) or a scrub+recover pass is
+            # the remedy, not silence.
+            latency = time.monotonic() - started
+            self.metrics.counter("degraded_results_total").increment()
+            self._record(latency, cached=False, partial=True, pages=0)
+            return ServiceResponse(
+                query, QueryResult([], partial=True), False, generation,
+                latency, stats, degraded=True, failure_cause=str(exc))
         pages = self._io_snapshot() - io_before
         # The generation captured *before* the search makes late caching
         # safe: if an update landed mid-search, the stored tag is already

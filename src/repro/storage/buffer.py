@@ -38,6 +38,11 @@ class BufferPool:
         return self._store.stats
 
     @property
+    def store(self) -> PageStore:
+        """The backing page store (the durability layer scrubs through it)."""
+        return self._store
+
+    @property
     def num_cached(self) -> int:
         """Number of pages currently resident."""
         with self._lock:

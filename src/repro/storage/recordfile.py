@@ -44,6 +44,11 @@ class RecordFile:
         return self._pool.stats
 
     @property
+    def page_store(self) -> PageStore:
+        """The page store beneath the buffer pool (for scrub/injection)."""
+        return self._pool.store
+
+    @property
     def size_in_bytes(self) -> int:
         """Total bytes appended so far."""
         return self._append_offset

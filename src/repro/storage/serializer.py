@@ -86,6 +86,50 @@ def decode_uint_list(data: bytes, offset: int = 0) -> Tuple[List[int], int]:
     return values, pos
 
 
+def encode_text(text: str) -> bytes:
+    """UTF-8 with a varint *byte* (not character) length prefix.
+
+    The distinction matters for non-ASCII keywords: ``len("café")`` is 4
+    but its UTF-8 form is 5 bytes, and a decoder that trusts the character
+    count walks off the middle of a multi-byte sequence.
+    """
+    blob = text.encode("utf-8")
+    return encode_varint(len(blob)) + blob
+
+
+def decode_text(data: bytes, offset: int = 0) -> Tuple[str, int]:
+    """Inverse of :func:`encode_text`; returns ``(text, next_offset)``."""
+    length, pos = decode_varint(data, offset)
+    end = pos + length
+    if end > len(data):
+        raise ValueError("truncated text payload")
+    return data[pos:end].decode("utf-8"), end
+
+
+def encode_keywords(keywords: Sequence[str]) -> bytes:
+    """A keyword set as count + length-prefixed UTF-8 strings.
+
+    Keywords are sorted so equal sets encode to equal bytes (the WAL's
+    replay-determinism relies on this); the empty set encodes to the
+    single byte ``0x00``.
+    """
+    ordered = sorted(keywords)
+    out = bytearray(encode_varint(len(ordered)))
+    for keyword in ordered:
+        out += encode_text(keyword)
+    return bytes(out)
+
+
+def decode_keywords(data: bytes, offset: int = 0) -> Tuple[List[str], int]:
+    """Inverse of :func:`encode_keywords`."""
+    count, pos = decode_varint(data, offset)
+    keywords: List[str] = []
+    for _ in range(count):
+        keyword, pos = decode_text(data, pos)
+        keywords.append(keyword)
+    return keywords, pos
+
+
 def encode_floats(values: Sequence[float]) -> bytes:
     """Fixed-width little-endian float64 sequence with a varint count."""
     return encode_varint(len(values)) + struct.pack(

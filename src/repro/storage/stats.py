@@ -19,11 +19,19 @@ class IOStats:
     ``physical_reads`` count pages actually fetched from the backing store;
     ``cache_hits`` count pages served by the buffer pool.  The sum of the two
     equals the number of logical page requests.
+
+    The durability layer adds three counters: ``fsyncs`` (how many times a
+    log or page file was forced to stable storage — the quantity that bounds
+    how much work a crash can lose), ``wal_appends`` and ``wal_bytes``
+    (write-ahead-log traffic, the mutation path's durability overhead).
     """
 
     physical_reads: int = 0
     physical_writes: int = 0
     cache_hits: int = 0
+    fsyncs: int = 0
+    wal_appends: int = 0
+    wal_bytes: int = 0
 
     def record_read(self, *, hit: bool) -> None:
         """Record one logical page read, served by cache iff ``hit``."""
@@ -36,6 +44,15 @@ class IOStats:
         """Record one physical page write."""
         self.physical_writes += 1
 
+    def record_fsync(self) -> None:
+        """Record one fsync-to-stable-storage point."""
+        self.fsyncs += 1
+
+    def record_wal_append(self, num_bytes: int) -> None:
+        """Record one WAL record append of ``num_bytes`` on-disk bytes."""
+        self.wal_appends += 1
+        self.wal_bytes += num_bytes
+
     @property
     def logical_reads(self) -> int:
         """Total page read requests, whether or not they hit the cache."""
@@ -46,11 +63,15 @@ class IOStats:
         self.physical_reads = 0
         self.physical_writes = 0
         self.cache_hits = 0
+        self.fsyncs = 0
+        self.wal_appends = 0
+        self.wal_bytes = 0
 
     def snapshot(self) -> "IOSnapshot":
         """An immutable copy of the current counters."""
         return IOSnapshot(self.physical_reads, self.physical_writes,
-                          self.cache_hits)
+                          self.cache_hits, self.fsyncs, self.wal_appends,
+                          self.wal_bytes)
 
 
 @dataclass(frozen=True)
@@ -60,6 +81,9 @@ class IOSnapshot:
     physical_reads: int = 0
     physical_writes: int = 0
     cache_hits: int = 0
+    fsyncs: int = 0
+    wal_appends: int = 0
+    wal_bytes: int = 0
 
     @property
     def logical_reads(self) -> int:
@@ -71,6 +95,9 @@ class IOSnapshot:
             later.physical_reads - self.physical_reads,
             later.physical_writes - self.physical_writes,
             later.cache_hits - self.cache_hits,
+            later.fsyncs - self.fsyncs,
+            later.wal_appends - self.wal_appends,
+            later.wal_bytes - self.wal_bytes,
         )
 
 

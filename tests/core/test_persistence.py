@@ -202,3 +202,137 @@ class TestPersistenceProperty:
         (copy / "anchor1.bin").write_bytes(b"\x07garbage")
         with pytest.raises(ValueError):
             load_index(str(copy))
+
+
+class TestExtraFiles:
+    def test_extras_ride_the_atomic_swap(self, tmp_path):
+        collection = make_collection(40, seed=8)
+        index = DesksIndex(collection, num_bands=2, num_wedges=2)
+        directory = tmp_path / "extras"
+        save_index(index, str(directory),
+                   extra_files={"marker.json": b'{"op_seq": 7}'})
+        assert (directory / "marker.json").read_bytes() == b'{"op_seq": 7}'
+        load_index(str(directory), verify=True)  # manifest covers extras
+
+    def test_extras_are_checksummed(self, tmp_path):
+        from repro.core.persistence import PersistenceError, scrub_saved
+
+        collection = make_collection(40, seed=8)
+        index = DesksIndex(collection, num_bands=2, num_wedges=2)
+        directory = tmp_path / "extras"
+        save_index(index, str(directory), extra_files={"marker.json": b"7"})
+        (directory / "marker.json").write_bytes(b"8")
+        report = scrub_saved(str(directory))
+        assert not report.clean
+        assert any("marker.json" in path for path, _ in report.corrupt)
+        with pytest.raises(PersistenceError, match="verification"):
+            load_index(str(directory), verify=True)
+
+
+class TestKeywordEdgeCases:
+    """Round trips for keyword sets the CSV/blob formats could mangle."""
+
+    def make_index(self):
+        from repro.datasets import POI, POICollection
+
+        pois = [
+            POI.make(0, 1.0, 1.0, ["café", "北京烤鸭"]),
+            POI.make(1, 2.0, 2.0, []),            # no keywords at all
+            POI.make(2, 3.0, 3.0, ["مقهى", "пекарня"]),
+            POI.make(3, 4.0, 4.0, ["plain"]),
+        ]
+        return DesksIndex(POICollection(pois), num_bands=2, num_wedges=2)
+
+    def test_non_ascii_and_empty_sets_round_trip(self, tmp_path):
+        index = self.make_index()
+        directory = tmp_path / "uni"
+        save_index(index, str(directory))
+        loaded = load_index(str(directory), verify=True)
+        for i in range(4):
+            assert (loaded.collection[i].keywords
+                    == index.collection[i].keywords)
+        q = DirectionalQuery.make(0, 0, 0, 2 * math.pi, ["café"], 4)
+        assert [e.poi_id for e in DesksSearcher(loaded).search(q).entries] \
+            == [0]
+
+    def test_unicode_queries_match_after_reload(self, tmp_path):
+        index = self.make_index()
+        directory = tmp_path / "uni2"
+        save_index(index, str(directory))
+        loaded = load_index(str(directory))
+        for term, expect in (("北京烤鸭", [0]), ("пекарня", [2]),
+                             ("missing", [])):
+            q = DirectionalQuery.make(0, 0, 0, 2 * math.pi, [term], 4)
+            assert [e.poi_id
+                    for e in DesksSearcher(loaded).search(q).entries] \
+                == expect
+
+
+class TestShardedManifestValidation:
+    def make_deployment(self, tmp_path, name="dep", meta=None):
+        from repro.core.persistence import save_sharded
+
+        shards = [DesksIndex(make_collection(30, seed=s),
+                             num_bands=2, num_wedges=2) for s in (1, 2, 3)]
+        directory = tmp_path / name
+        save_sharded(shards, str(directory), meta=meta)
+        return directory
+
+    def test_missing_shard_directory_is_typed(self, tmp_path):
+        from repro.core.persistence import (
+            MissingPersistenceFile,
+            load_sharded,
+        )
+
+        directory = self.make_deployment(tmp_path)
+        import shutil
+        shutil.rmtree(directory / "shard1")
+        with pytest.raises(MissingPersistenceFile, match="shard1"):
+            load_sharded(str(directory))
+
+    def test_extra_shard_directory_rejected(self, tmp_path):
+        from repro.core.persistence import PersistenceError, load_sharded
+
+        directory = self.make_deployment(tmp_path)
+        import shutil
+        shutil.copytree(directory / "shard0", directory / "shard9")
+        with pytest.raises(PersistenceError, match="holds 4"):
+            load_sharded(str(directory))
+
+    def test_invalid_num_shards_rejected(self, tmp_path):
+        from repro.core.persistence import PersistenceError, load_sharded
+
+        directory = self.make_deployment(tmp_path)
+        meta = json.loads((directory / "meta.json").read_text())
+        meta["num_shards"] = 0
+        (directory / "meta.json").write_text(json.dumps(meta))
+        with pytest.raises(PersistenceError, match="num_shards"):
+            load_sharded(str(directory))
+
+    def test_global_id_lists_must_match_shard_count(self, tmp_path):
+        from repro.core.persistence import PersistenceError, load_sharded
+
+        directory = self.make_deployment(
+            tmp_path, meta={"shard_global_ids": [[0], [1]]})
+        with pytest.raises(PersistenceError, match="global ids"):
+            load_sharded(str(directory))
+
+    def test_non_object_manifest_rejected(self, tmp_path):
+        from repro.core.persistence import PersistenceError, load_sharded
+
+        directory = self.make_deployment(tmp_path)
+        (directory / "meta.json").write_text("[1, 2, 3]")
+        with pytest.raises(PersistenceError, match="not an object"):
+            load_sharded(str(directory))
+
+    def test_scrub_covers_every_shard(self, tmp_path):
+        from repro.core.persistence import scrub_saved
+        from repro.storage import CorruptionInjector
+
+        directory = self.make_deployment(tmp_path)
+        assert scrub_saved(str(directory)).clean
+        CorruptionInjector(seed=4).corrupt_file(
+            str(directory / "shard2" / "anchor0.bin"))
+        report = scrub_saved(str(directory))
+        assert not report.clean
+        assert any("shard2" in path for path, _ in report.corrupt)

@@ -1,0 +1,231 @@
+"""Tests for DurableMutableIndex: WAL'd mutations, recovery, checkpoints."""
+
+import json
+import math
+import os
+import random
+
+import pytest
+
+from repro.core import DirectionalQuery
+from repro.core.persistence import PersistenceError
+from repro.datasets import POI, POICollection
+from repro.durability import (
+    DurableMutableIndex,
+    is_durable_dir,
+    scrub_durable,
+)
+from repro.storage import CorruptionInjector, SimulatedCrash
+
+KEYWORDS = ["cafe", "food", "gas", "atm", "pizza", "bank"]
+
+
+def make_collection(n=120, seed=9):
+    rng = random.Random(seed)
+    return POICollection([
+        POI.make(i, rng.uniform(0, 100), rng.uniform(0, 100),
+                 rng.sample(KEYWORDS, rng.randint(1, 3)))
+        for i in range(n)
+    ])
+
+
+def probe(index, seed=0, count=8, k=6):
+    rng = random.Random(seed)
+    answers = []
+    for _ in range(count):
+        alpha = rng.uniform(0, 2 * math.pi)
+        query = DirectionalQuery.make(
+            rng.uniform(0, 100), rng.uniform(0, 100),
+            alpha, alpha + rng.uniform(0.3, 5.5),
+            rng.sample(KEYWORDS, rng.randint(1, 2)), k)
+        result = index.search(query)
+        answers.append([(e.poi_id, e.distance) for e in result.entries])
+    return answers
+
+
+@pytest.fixture()
+def base():
+    return make_collection()
+
+
+class TestLifecycle:
+    def test_constructor_refused(self, base):
+        with pytest.raises(TypeError, match="create"):
+            DurableMutableIndex(base)
+
+    def test_create_recover_empty(self, base, tmp_path):
+        root = str(tmp_path / "dur")
+        with DurableMutableIndex.create(base, root) as index:
+            before = probe(index)
+        with DurableMutableIndex.recover(root) as recovered:
+            assert recovered.op_seq == 0
+            assert probe(recovered) == before
+
+    def test_create_refuses_existing_directory(self, base, tmp_path):
+        root = str(tmp_path / "dur")
+        DurableMutableIndex.create(base, root).close()
+        with pytest.raises(PersistenceError, match="recover"):
+            DurableMutableIndex.create(base, root)
+
+    def test_is_durable_dir(self, base, tmp_path):
+        root = str(tmp_path / "dur")
+        assert not is_durable_dir(root)
+        DurableMutableIndex.create(base, root).close()
+        assert is_durable_dir(root)
+        assert not is_durable_dir(str(tmp_path))
+
+
+class TestRecovery:
+    def test_mutations_survive_clean_close(self, base, tmp_path):
+        root = str(tmp_path / "dur")
+        with DurableMutableIndex.create(base, root) as index:
+            pid = index.insert(12.0, 34.0, ["cafe", "pizza"])
+            index.delete(3)
+            index.insert(55.0, 5.0, ["bank"])
+            before = probe(index)
+            op_seq = index.op_seq
+        with DurableMutableIndex.recover(root) as recovered:
+            assert recovered.op_seq == op_seq
+            assert probe(recovered) == before
+            assert recovered.delete(pid)  # replayed ids line up
+
+    def test_non_ascii_and_empty_keyword_sets_replay(self, base, tmp_path):
+        root = str(tmp_path / "dur")
+        with DurableMutableIndex.create(base, root) as index:
+            index.insert(10.0, 10.0, ["café", "北京烤鸭"])
+            index.insert(20.0, 20.0, [])
+            index.insert(30.0, 30.0, ["пекарня"])
+            before = probe(index)
+        with DurableMutableIndex.recover(root) as recovered:
+            assert probe(recovered) == before
+            query = DirectionalQuery.make(0, 0, 0, 2 * math.pi,
+                                          ["café"], 3)
+            entries = recovered.search(query).entries
+            assert len(entries) == 1
+
+    def test_recovery_replays_only_unabsorbed_suffix(self, base, tmp_path):
+        root = str(tmp_path / "dur")
+        with DurableMutableIndex.create(base, root) as index:
+            for i in range(10):
+                index.insert(float(i), float(i), ["gas"])
+            index.checkpoint()
+            assert index.snapshot_op_seq == 10
+            index.insert(99.0, 99.0, ["atm"])
+            before = probe(index)
+        with DurableMutableIndex.recover(root) as recovered:
+            assert recovered.snapshot_op_seq == 10
+            assert recovered.op_seq == 11
+            assert probe(recovered) == before
+
+    def test_crash_between_snapshot_and_truncation(self, base, tmp_path):
+        """The double-apply window: snapshot swapped in, WAL still full."""
+        root = str(tmp_path / "dur")
+
+        def crash_at_truncation(stage):
+            if stage == "checkpoint.before":
+                raise SimulatedCrash(stage)
+
+        index = DurableMutableIndex.create(base, root,
+                                           failpoint=crash_at_truncation)
+        for i in range(6):
+            index.insert(float(i), 1.0, ["cafe"])
+        with pytest.raises(SimulatedCrash):
+            index.checkpoint()
+        before = probe(index)
+        index.abandon()
+        with DurableMutableIndex.recover(root) as recovered:
+            # Snapshot absorbed all 6 ops; the un-truncated WAL records
+            # must be skipped, not applied twice.
+            assert recovered.snapshot_op_seq == 6
+            assert recovered.op_seq == 6
+            assert probe(recovered) == before
+
+    def test_torn_wal_tail_loses_only_final_record(self, base, tmp_path):
+        root = str(tmp_path / "dur")
+        crash = {"armed": False}
+
+        def tear_last(stage):
+            if crash["armed"] and stage == "append.torn":
+                raise SimulatedCrash(stage)
+
+        index = DurableMutableIndex.create(base, root, sync="always",
+                                           failpoint=tear_last)
+        index.insert(1.0, 1.0, ["cafe"])
+        index.insert(2.0, 2.0, ["food"])
+        crash["armed"] = True
+        with pytest.raises(SimulatedCrash):
+            index.insert(3.0, 3.0, ["gas"])
+        index.abandon()
+        with DurableMutableIndex.recover(root) as recovered:
+            assert recovered.op_seq == 2  # torn third record dropped
+
+    def test_recover_missing_directory(self, tmp_path):
+        with pytest.raises(PersistenceError, match="not a durable"):
+            DurableMutableIndex.recover(str(tmp_path / "nothing"))
+
+    def test_recover_rejects_bad_marker(self, base, tmp_path):
+        root = tmp_path / "dur"
+        DurableMutableIndex.create(base, str(root)).close()
+        marker = root / "snapshot" / "durable.json"
+        marker.write_text(json.dumps({"version": 1, "op_seq": -4}))
+        with pytest.raises(PersistenceError, match="op_seq"):
+            DurableMutableIndex.recover(str(root))
+
+
+class TestCheckpointGuards:
+    def test_bare_compact_refused(self, base, tmp_path):
+        with DurableMutableIndex.create(base,
+                                        str(tmp_path / "dur")) as index:
+            with pytest.raises(PersistenceError, match="checkpoint"):
+                index.compact()
+
+    def test_failed_checkpoint_poisons_instance(self, base, tmp_path,
+                                                monkeypatch):
+        index = DurableMutableIndex.create(base, str(tmp_path / "dur"))
+        monkeypatch.setattr(
+            index, "_save_snapshot",
+            lambda: (_ for _ in ()).throw(RuntimeError("disk full")))
+        index.insert(1.0, 1.0, ["cafe"])
+        with pytest.raises(RuntimeError, match="disk full"):
+            index.checkpoint()
+        with pytest.raises(PersistenceError, match="poisoned"):
+            index.insert(2.0, 2.0, ["food"])
+        with pytest.raises(PersistenceError, match="poisoned"):
+            index.delete(0)
+        index.abandon()
+        # Recovery from disk is the documented remedy.
+        with DurableMutableIndex.recover(str(tmp_path / "dur")) as fresh:
+            assert fresh.op_seq == 1
+
+    def test_checkpoint_truncates_wal(self, base, tmp_path):
+        with DurableMutableIndex.create(base,
+                                        str(tmp_path / "dur")) as index:
+            for i in range(5):
+                index.insert(float(i), 2.0, ["bank"])
+            index.checkpoint()
+            report = index.scrub()
+            assert report.clean
+            assert report.wal.records == 0
+
+
+class TestScrub:
+    def test_offline_scrub_clean(self, base, tmp_path):
+        root = str(tmp_path / "dur")
+        with DurableMutableIndex.create(base, root) as index:
+            index.insert(5.0, 5.0, ["cafe"])
+        report = scrub_durable(root)
+        assert report.clean
+        assert "clean" in report.summary()
+
+    def test_offline_scrub_flags_snapshot_corruption(self, base, tmp_path):
+        root = tmp_path / "dur"
+        DurableMutableIndex.create(base, str(root)).close()
+        CorruptionInjector(seed=2).corrupt_file(
+            str(root / "snapshot" / "pois.csv"))
+        report = scrub_durable(str(root))
+        assert not report.clean
+        assert any("pois.csv" in path for path, _ in report.snapshot.corrupt)
+
+    def test_offline_scrub_refuses_non_durable_dir(self, tmp_path):
+        with pytest.raises(PersistenceError):
+            scrub_durable(str(tmp_path))

@@ -185,3 +185,64 @@ class TestClusterBench:
         with pytest.raises(SystemExit):
             main(["cluster-bench", str(csv_path),
                   "--partitioner", "voronoi"])
+
+
+class TestScrub:
+    def test_clean_saved_index(self, csv_path, tmp_path, capsys):
+        index_dir = tmp_path / "idx"
+        assert main(["build", str(csv_path), str(index_dir)]) == 0
+        capsys.readouterr()
+        assert main(["scrub", str(index_dir)]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_corrupt_saved_index_exits_nonzero(self, csv_path, tmp_path,
+                                               capsys):
+        from repro.storage import CorruptionInjector
+
+        index_dir = tmp_path / "idx"
+        assert main(["build", str(csv_path), str(index_dir)]) == 0
+        CorruptionInjector(seed=3).corrupt_file(str(index_dir / "pois.csv"))
+        capsys.readouterr()
+        assert main(["scrub", str(index_dir)]) == 1
+        captured = capsys.readouterr()
+        assert "corrupt" in captured.out
+        assert "pois.csv" in captured.err
+
+    def test_durable_directory_scrubbed_end_to_end(self, tmp_path, capsys):
+        import random
+
+        from repro.datasets import POI, POICollection
+        from repro.durability import DurableMutableIndex
+
+        rng = random.Random(5)
+        base = POICollection([
+            POI.make(i, rng.uniform(0, 50), rng.uniform(0, 50), ["cafe"])
+            for i in range(40)])
+        root = tmp_path / "dur"
+        with DurableMutableIndex.create(base, str(root)) as index:
+            index.insert(1.0, 2.0, ["food"])
+        assert main(["scrub", str(root)]) == 0
+        assert "wal" in capsys.readouterr().out
+
+    def test_missing_directory(self, tmp_path, capsys):
+        assert main(["scrub", str(tmp_path / "nope")]) == 2
+        assert "not a directory" in capsys.readouterr().err
+
+
+class TestChaosBench:
+    def test_small_run_passes_and_writes_json(self, tmp_path, capsys):
+        import json
+
+        report = tmp_path / "chaos.json"
+        code = main(["chaos-bench", "--pois", "80", "--ops", "25",
+                     "--crash-trials", "4", "--corruption-trials", "3",
+                     "--seed", "2", "--json", str(report)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "crash trials" in out
+        assert "corruption trials" in out
+        assert "WAL overhead" in out
+        payload = json.loads(report.read_text())
+        assert payload["ok"] is True
+        assert payload["crash"]["identical"] == 4
+        assert payload["corruption"]["silent_wrong"] == 0

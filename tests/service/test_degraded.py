@@ -1,0 +1,64 @@
+"""Degraded responses: page corruption surfaces, never silently answers."""
+
+from repro.service import QueryEngine
+from repro.storage import PageCorruptionError
+
+from .conftest import make_queries
+
+
+def poisoned_engine(static_index, monkeypatch):
+    engine = QueryEngine(static_index, num_workers=1)
+    error = PageCorruptionError(5, "checksum mismatch at epoch 3",
+                                "anchor0.pages")
+
+    def boom(query, stats, deadline):
+        raise error
+
+    monkeypatch.setattr(engine, "_search", boom)
+    return engine
+
+
+class TestDegradedResponses:
+    def test_corruption_becomes_degraded_not_exception(self, static_index,
+                                                       monkeypatch):
+        engine = poisoned_engine(static_index, monkeypatch)
+        query = make_queries(1, seed=3)[0]
+        try:
+            response = engine.execute(query)
+        finally:
+            engine.close()
+        assert response.degraded
+        assert response.partial
+        assert response.result.entries == []
+        assert "page 5" in response.failure_cause
+        assert "checksum mismatch" in response.failure_cause
+
+    def test_degraded_answers_never_cached(self, static_index, monkeypatch):
+        engine = poisoned_engine(static_index, monkeypatch)
+        query = make_queries(1, seed=4)[0]
+        try:
+            first = engine.execute(query)
+            second = engine.execute(query)  # the page may heal; re-check
+        finally:
+            engine.close()
+        assert first.degraded and second.degraded
+        assert not first.cached and not second.cached
+
+    def test_degraded_metric_counts(self, static_index, monkeypatch):
+        engine = poisoned_engine(static_index, monkeypatch)
+        try:
+            for query in make_queries(3, seed=5):
+                engine.execute(query)
+            assert engine.metrics.counter(
+                "degraded_results_total").value == 3
+        finally:
+            engine.close()
+
+    def test_healthy_engine_sets_no_degraded_flag(self, static_index):
+        engine = QueryEngine(static_index, num_workers=1)
+        try:
+            response = engine.execute(make_queries(1, seed=6)[0])
+        finally:
+            engine.close()
+        assert not response.degraded
+        assert response.failure_cause is None
