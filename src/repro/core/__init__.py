@@ -16,6 +16,7 @@ from .persistence import (
     SavedScrubReport,
     load_index,
     load_sharded,
+    repair_interrupted_swap,
     save_index,
     save_sharded,
     scrub_saved,
@@ -72,6 +73,7 @@ __all__ = [
     "brute_force_search",
     "load_index",
     "load_sharded",
+    "repair_interrupted_swap",
     "save_index",
     "save_sharded",
     "scrub_saved",

@@ -23,7 +23,13 @@ directory per shard plus a cluster-level manifest:
 **Durability.**  Both save paths are atomic at the directory level: files
 are written (and fsynced) into a temporary sibling, which is renamed over
 the target only once complete — a crash mid-save leaves either the old
-save or the new one, never a half-written mix.  Every data file's CRC32C
+save or the new one, never a half-written mix.  Replacing an existing
+save takes two renames (target away, staging in); a crash in the window
+between them leaves only the ``.displaced``/``.saving`` siblings, which
+:func:`repair_interrupted_swap` — run automatically by the load paths and
+by the next save — rolls forward (the staging dir is complete by then) or
+back.  The parent directory is fsynced after every rename so the swap
+also survives power loss, not just process death.  Every data file's CRC32C
 lands in ``checksums.json`` so :func:`scrub_saved` can verify a deployment
 end to end, and loads raise typed errors — :class:`PersistenceError` /
 :class:`MissingPersistenceFile` — instead of bare ``KeyError`` or
@@ -36,7 +42,7 @@ import json
 import os
 import shutil
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import Callable, List, Optional, Sequence, Tuple
 
 from ..datasets import load_csv, save_csv
 from ..geometry import Anchor, CanonicalFrame
@@ -67,7 +73,8 @@ class MissingPersistenceFile(PersistenceError, FileNotFoundError):
 
 
 def save_index(index: DesksIndex, directory: str,
-               extra_files: Optional[dict] = None) -> None:
+               extra_files: Optional[dict] = None,
+               failpoint: Optional[Callable[[str], None]] = None) -> None:
     """Persist ``index`` (memory-store variant) into ``directory``.
 
     Atomic: the files are staged in a temporary sibling directory and
@@ -75,6 +82,9 @@ def save_index(index: DesksIndex, directory: str,
     ``extra_files`` (name -> bytes) ride along inside the same atomic
     swap and checksum manifest — the durability layer stores its WAL
     op-sequence marker this way so snapshot and marker can never diverge.
+    ``failpoint`` (stages ``swap.staged``, ``swap.displaced``,
+    ``swap.complete``) lets crash tests kill the process inside the swap
+    itself.
 
     Disk-backed indexes already live in page files tied to their configured
     paths; persisting those means copying the page files, which is the
@@ -84,7 +94,8 @@ def save_index(index: DesksIndex, directory: str,
     _refuse_disk_based(index)
     _atomic_directory_swap(
         directory,
-        lambda staging: _write_index_files(index, staging, extra_files))
+        lambda staging: _write_index_files(index, staging, extra_files),
+        failpoint=failpoint)
 
 
 def save_sharded(indexes: Sequence[DesksIndex], directory: str,
@@ -161,13 +172,49 @@ def _write_index_files(index: DesksIndex, directory: str,
                 _json_bytes(manifest))
 
 
-def _atomic_directory_swap(directory: str, write) -> None:
+def repair_interrupted_swap(directory: str) -> bool:
+    """Finish a directory swap a crash interrupted; returns True if it did.
+
+    Replacing an existing save renames the target to ``.displaced`` before
+    renaming ``.saving`` into place; a crash between those two renames
+    leaves no ``directory`` at all — only the siblings.  The staging dir
+    is complete by then (it is only ever renamed after every file in it
+    was written and fsynced), so roll *forward* to it; a lone
+    ``.displaced`` (which the swap's ordering cannot actually produce)
+    rolls back to the old save rather than losing everything.  A lone
+    partial ``.saving`` is never adopted — that is a crash mid-write, and
+    the old state is whatever ``directory`` already holds.
+
+    The load paths and the next save both call this, so an interrupted
+    swap heals on first contact instead of wedging the directory.
+    """
+    directory = directory.rstrip("/") or directory
+    if os.path.isdir(directory):
+        return False  # target intact; any siblings are stale leftovers
+    staging = directory + ".saving"
+    displaced = directory + ".displaced"
+    if os.path.isdir(displaced):
+        if os.path.isdir(staging):
+            os.rename(staging, directory)  # complete new save: roll forward
+            shutil.rmtree(displaced)
+        else:
+            os.rename(displaced, directory)  # roll back to the old save
+        _fsync_dir(os.path.dirname(os.path.abspath(directory)))
+        return True
+    return False
+
+
+def _atomic_directory_swap(directory: str, write,
+                           failpoint: Optional[Callable[[str], None]] = None
+                           ) -> None:
     """Run ``write(staging_dir)`` then rename the staging dir over
     ``directory``; the target is at all times either absent, the old
-    save, or the completed new one."""
+    save, the completed new one, or an interrupted swap that
+    :func:`repair_interrupted_swap` rolls forward."""
     directory = directory.rstrip("/") or directory
     parent = os.path.dirname(os.path.abspath(directory))
     os.makedirs(parent, exist_ok=True)
+    repair_interrupted_swap(directory)
     staging = directory + ".saving"
     displaced = directory + ".displaced"
     for leftover in (staging, displaced):
@@ -179,12 +226,33 @@ def _atomic_directory_swap(directory: str, write) -> None:
     except BaseException:
         shutil.rmtree(staging, ignore_errors=True)
         raise
+    if failpoint is not None:
+        failpoint("swap.staged")
     if os.path.exists(directory):
         os.rename(directory, displaced)
+        if failpoint is not None:
+            failpoint("swap.displaced")
         os.rename(staging, directory)
+        _fsync_dir(parent)
+        if failpoint is not None:
+            failpoint("swap.complete")
         shutil.rmtree(displaced)
     else:
         os.rename(staging, directory)
+        _fsync_dir(parent)
+
+
+def _fsync_dir(path: str) -> None:
+    """Make renames/unlinks under ``path`` durable (no-op where
+    directories cannot be opened, e.g. Windows)."""
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
 
 
 def _write_file(path: str, blob: bytes) -> None:
@@ -211,8 +279,12 @@ def load_index(directory: str, verify: bool = False) -> DesksIndex:
 
     With ``verify=True`` every file is first checked against the save's
     checksum manifest, turning silent bit rot into a typed
-    :class:`PersistenceError` before any bytes are parsed.
+    :class:`PersistenceError` before any bytes are parsed.  A swap a
+    crash interrupted mid-rename is repaired first
+    (:func:`repair_interrupted_swap`), so recovery works even when the
+    crash landed between the swap's two renames.
     """
+    repair_interrupted_swap(directory)
     if verify:
         _require_clean(scrub_saved(directory))
     meta = _load_json(os.path.join(directory, "meta.json"),
@@ -265,6 +337,7 @@ def load_sharded(directory: str,
     surfaces as a typed :class:`PersistenceError` rather than a bare
     ``KeyError`` deep inside a shard load.
     """
+    repair_interrupted_swap(directory)
     manifest = _load_json(
         os.path.join(directory, "meta.json"),
         f"{directory} is not a saved sharded deployment")

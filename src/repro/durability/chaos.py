@@ -36,7 +36,7 @@ from ..core import MutableDesksIndex
 from ..core.query import DirectionalQuery
 from ..datasets import POICollection
 from ..storage import SimulatedCrash
-from .durable import DurableMutableIndex
+from .durable import DurableMutableIndex, is_durable_dir
 
 #: Deliberately multilingual so crash/recovery exercises the UTF-8 paths
 #: of the WAL op codec and the snapshot CSV round-trip.
@@ -277,7 +277,15 @@ def run_crash_trials(base: POICollection, script: Sequence[Tuple],
             if index is not None:
                 index.abandon()
 
-        recovered = DurableMutableIndex.recover(trial_dir, sync=sync)
+        if is_durable_dir(trial_dir):
+            recovered = DurableMutableIndex.recover(trial_dir, sync=sync)
+        else:
+            # The crash pre-empted create() itself (durable.json — the
+            # commit record of creation — lands last); the documented
+            # remedy is to simply re-run create().
+            recovered = DurableMutableIndex.create(
+                base, trial_dir, rebuild_threshold=rebuild_threshold,
+                sync=sync)
         twin = build_twin(base, script, recovered.op_seq,
                           recovered.snapshot_op_seq, rebuild_threshold)
         mismatches = []

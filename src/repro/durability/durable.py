@@ -37,6 +37,7 @@ from ..core.dynamic import MutableDesksIndex
 from ..core.index import DesksIndex
 from ..core.persistence import (
     PersistenceError,
+    _fsync_dir,
     load_index,
     save_index,
     scrub_saved,
@@ -57,6 +58,7 @@ from ..storage.wal import (
     FailpointFn,
     WalScrubReport,
     WriteAheadLog,
+    wal_scrub,
 )
 
 DURABLE_VERSION = 1
@@ -98,6 +100,10 @@ class DurableMutableIndex(MutableDesksIndex):
 
         The base collection is snapshotted immediately (op_seq 0), so even
         a crash before the first mutation leaves a recoverable directory.
+        ``durable.json`` is written (and fsynced) *last*: it is the commit
+        record of creation, so a crash anywhere earlier leaves a directory
+        that a re-run of ``create()`` simply restarts — never one that
+        both ``create()`` and ``recover()`` refuse.
         """
         if os.path.exists(os.path.join(directory, DURABLE_META)):
             raise PersistenceError(
@@ -105,6 +111,8 @@ class DurableMutableIndex(MutableDesksIndex):
         os.makedirs(directory, exist_ok=True)
         index = DesksIndex(collection, num_bands, num_wedges)
         instance = cls._adopt(index, rebuild_threshold)
+        instance._attach(directory, sync, sync_interval, failpoint)
+        instance._save_snapshot()
         meta = {
             "version": DURABLE_VERSION,
             "num_bands": index.num_bands,
@@ -118,8 +126,7 @@ class DurableMutableIndex(MutableDesksIndex):
             handle.flush()
             os.fsync(handle.fileno())
         os.replace(tmp_path, meta_path)
-        instance._attach(directory, sync, sync_interval, failpoint)
-        instance._save_snapshot()
+        _fsync_dir(directory)
         instance._wal = instance._open_wal()
         return instance
 
@@ -210,14 +217,18 @@ class DurableMutableIndex(MutableDesksIndex):
     def insert(self, x: float, y: float, keywords: Iterable[str]) -> int:
         with self._lock:
             self._check_usable()
+            # Materialize once: ``keywords`` may be a one-shot iterable,
+            # and the WAL payload and the live index must see the same
+            # terms or recovery would diverge from the pre-crash state.
+            kws = sorted(set(keywords))
             if not self._replaying:
                 payload = (encode_varint(self._op_seq + 1)
                            + bytes([_OP_INSERT])
                            + encode_floats([x, y])
-                           + encode_keywords(sorted(set(keywords))))
+                           + encode_keywords(kws))
                 self._wal.append(payload)
             self._op_seq += 1
-            return super().insert(x, y, keywords)
+            return super().insert(x, y, kws)
 
     def delete(self, poi_id: int) -> bool:
         with self._lock:
@@ -301,8 +312,12 @@ class DurableMutableIndex(MutableDesksIndex):
     def _save_snapshot(self) -> None:
         marker = json.dumps({"version": DURABLE_VERSION,
                              "op_seq": self._op_seq}).encode("ascii")
+        # The failpoint rides into the directory swap itself, so chaos
+        # trials crash between its two renames — the window
+        # repair_interrupted_swap() exists for.
         save_index(self._index, os.path.join(self.directory, SNAPSHOT_DIR),
-                   extra_files={SNAPSHOT_MARKER: marker})
+                   extra_files={SNAPSHOT_MARKER: marker},
+                   failpoint=self._failpoint)
         self._snapshot_op_seq = self._op_seq
 
     # -- verification --------------------------------------------------------
@@ -354,21 +369,29 @@ class DurabilityScrubReport:
 
 
 def scrub_durable(directory: str) -> DurabilityScrubReport:
-    """Offline verification of a durable index directory (no replay)."""
+    """Offline verification of a durable index directory (no replay).
+
+    Strictly read-only: the WAL is scanned via :func:`wal_scrub` rather
+    than opened through :class:`WriteAheadLog` (whose constructor would
+    truncate a torn tail and open a segment for append), so a torn final
+    record is *reported*, not silently repaired.  ``recover()`` is what
+    repairs it.
+    """
     _load_durable_meta(directory)
     snapshot = scrub_saved(os.path.join(directory, SNAPSHOT_DIR))
-    wal = WriteAheadLog(os.path.join(directory, WAL_DIR))
-    try:
-        report = wal.scrub()
-    finally:
-        wal.close()
-    return DurabilityScrubReport(snapshot, report)
+    return DurabilityScrubReport(snapshot,
+                                 wal_scrub(os.path.join(directory, WAL_DIR)))
 
 
 def is_durable_dir(directory: str) -> bool:
-    """Does ``directory`` look like a DurableMutableIndex root?"""
-    return (os.path.isfile(os.path.join(directory, DURABLE_META))
-            and os.path.isdir(os.path.join(directory, SNAPSHOT_DIR)))
+    """Does ``directory`` look like a DurableMutableIndex root?
+
+    ``durable.json`` alone decides: it is the commit record of
+    :meth:`DurableMutableIndex.create` (written last), and the snapshot
+    directory may legitimately be mid-swap after a crash — ``recover()``
+    repairs that on open.
+    """
+    return os.path.isfile(os.path.join(directory, DURABLE_META))
 
 
 def _load_durable_meta(directory: str) -> dict:

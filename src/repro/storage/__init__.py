@@ -37,6 +37,7 @@ from .wal import (
     WalCorruptionError,
     WalScrubReport,
     WriteAheadLog,
+    wal_scrub,
 )
 
 __all__ = [
@@ -75,4 +76,5 @@ __all__ = [
     "encode_text",
     "encode_uint_list",
     "encode_varint",
+    "wal_scrub",
 ]

@@ -105,9 +105,7 @@ class WriteAheadLog:
 
     def segments(self) -> List[str]:
         """Current segment file paths, oldest first."""
-        names = sorted(n for n in os.listdir(self.directory)
-                       if n.startswith("segment-") and n.endswith(".wal"))
-        return [os.path.join(self.directory, n) for n in names]
+        return _segment_paths(self.directory)
 
     def _segment_path(self, number: int) -> str:
         return os.path.join(self.directory, f"segment-{number:08d}.wal")
@@ -116,7 +114,14 @@ class WriteAheadLog:
         # Unbuffered only under a failpoint: crash simulation must see
         # exactly the bytes each write() emitted, nothing held by Python.
         buffering = 0 if self._failpoint is not None else -1
-        return open(self._segment_path(number), "ab", buffering=buffering)
+        path = self._segment_path(number)
+        creating = not os.path.exists(path)
+        handle = open(path, "ab", buffering=buffering)
+        if creating:
+            # The file's very existence must survive power loss, or a
+            # checkpoint could leave the log with no open-for-append tail.
+            _fsync_dir(self.directory)
+        return handle
 
     # -- appending -----------------------------------------------------------
 
@@ -180,6 +185,10 @@ class WriteAheadLog:
         self._file.close()
         for path in self.segments():
             os.unlink(path)
+        # Unlinks must be durable before new appends: a power loss that
+        # resurrected a pre-checkpoint segment would replay absorbed ops
+        # ahead of newer ones.
+        _fsync_dir(self.directory)
         self._segment_no += 1
         self._file = self._open_segment(self._segment_no)
         self._fire("checkpoint.after")
@@ -199,17 +208,7 @@ class WriteAheadLog:
 
     def scrub(self) -> "WalScrubReport":
         """Verify every segment; reports where (if anywhere) the log tears."""
-        report = WalScrubReport()
-        segments = self.segments()
-        for index, path in enumerate(segments):
-            good, tail = _scan_segment_extent(path)
-            report.records += good
-            if tail is not None:
-                report.torn_at = (path, tail)
-                # Bytes in later segments are unreachable by replay.
-                report.unreachable_segments = len(segments) - index - 1
-                break
-        return report
+        return _scrub_segments(self.segments())
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -257,6 +256,52 @@ class WalScrubReport:
         return (f"wal: {self.records} record(s), torn at "
                 f"{os.path.basename(path)}:{offset} "
                 f"({self.unreachable_segments} segment(s) unreachable)")
+
+
+def wal_scrub(directory: str) -> "WalScrubReport":
+    """Verify a WAL directory **without touching it**.
+
+    Unlike ``WriteAheadLog(...).scrub()``, this never repairs a torn
+    tail, opens nothing for append, and creates no files — so an offline
+    integrity check (the CLI ``scrub`` command) can report a torn final
+    record instead of silently truncating the evidence.  A missing
+    directory scrubs as an empty, clean log.
+    """
+    if not os.path.isdir(directory):
+        return WalScrubReport()
+    return _scrub_segments(_segment_paths(directory))
+
+
+def _scrub_segments(segments: List[str]) -> "WalScrubReport":
+    report = WalScrubReport()
+    for index, path in enumerate(segments):
+        good, tail = _scan_segment_extent(path)
+        report.records += good
+        if tail is not None:
+            report.torn_at = (path, tail)
+            # Bytes in later segments are unreachable by replay.
+            report.unreachable_segments = len(segments) - index - 1
+            break
+    return report
+
+
+def _segment_paths(directory: str) -> List[str]:
+    names = sorted(n for n in os.listdir(directory)
+                   if n.startswith("segment-") and n.endswith(".wal"))
+    return [os.path.join(directory, n) for n in names]
+
+
+def _fsync_dir(path: str) -> None:
+    """Make renames/unlinks under ``path`` durable (no-op where
+    directories cannot be opened, e.g. Windows)."""
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
 
 
 def _scan_segment(path: str) -> Iterator[Tuple[int, int, bytes]]:

@@ -336,3 +336,79 @@ class TestShardedManifestValidation:
         report = scrub_saved(str(directory))
         assert not report.clean
         assert any("shard2" in path for path, _ in report.corrupt)
+
+
+class TestInterruptedSwap:
+    """A crash between the swap's two renames must not lose the save."""
+
+    def make_index(self, seed=8):
+        collection = make_collection(40, seed=seed)
+        return DesksIndex(collection, num_bands=2, num_wedges=2)
+
+    def crash_mid_swap(self, tmp_path):
+        """Save twice, killing the second save between its renames."""
+        from repro.storage import SimulatedCrash
+
+        directory = tmp_path / "idx"
+        save_index(self.make_index(seed=8), str(directory))
+
+        def crash(stage):
+            if stage == "swap.displaced":
+                raise SimulatedCrash(stage)
+
+        with pytest.raises(SimulatedCrash):
+            save_index(self.make_index(seed=9), str(directory),
+                       extra_files={"marker.json": b"new"},
+                       failpoint=crash)
+        assert not directory.exists()
+        assert (tmp_path / "idx.saving").is_dir()
+        assert (tmp_path / "idx.displaced").is_dir()
+        return directory
+
+    def test_load_rolls_forward_to_completed_staging(self, tmp_path):
+        directory = self.crash_mid_swap(tmp_path)
+        loaded = load_index(str(directory), verify=True)
+        # The staging dir was complete when the crash hit, so repair
+        # adopts the NEW save (marker.json only exists in it).
+        assert (directory / "marker.json").read_bytes() == b"new"
+        assert len(loaded.collection) == 40
+        assert not (tmp_path / "idx.saving").exists()
+        assert not (tmp_path / "idx.displaced").exists()
+
+    def test_next_save_repairs_before_staging(self, tmp_path):
+        directory = self.crash_mid_swap(tmp_path)
+        save_index(self.make_index(seed=10), str(directory))
+        load_index(str(directory), verify=True)
+        assert not (tmp_path / "idx.saving").exists()
+        assert not (tmp_path / "idx.displaced").exists()
+
+    def test_repair_rolls_back_without_staging(self, tmp_path):
+        import shutil
+
+        from repro.core import repair_interrupted_swap
+
+        directory = self.crash_mid_swap(tmp_path)
+        shutil.rmtree(tmp_path / "idx.saving")
+        assert repair_interrupted_swap(str(directory))
+        # Only the displaced old save is left; roll back to it.
+        assert not (directory / "marker.json").exists()
+        load_index(str(directory), verify=True)
+
+    def test_repair_is_noop_on_intact_directory(self, tmp_path):
+        from repro.core import repair_interrupted_swap
+
+        directory = tmp_path / "idx"
+        save_index(self.make_index(), str(directory))
+        assert not repair_interrupted_swap(str(directory))
+        load_index(str(directory), verify=True)
+
+    def test_partial_staging_alone_is_not_adopted(self, tmp_path):
+        from repro.core import repair_interrupted_swap
+        from repro.core.persistence import MissingPersistenceFile
+
+        staging = tmp_path / "idx.saving"
+        staging.mkdir()
+        (staging / "meta.json").write_text("{")  # torn mid-write
+        assert not repair_interrupted_swap(str(tmp_path / "idx"))
+        with pytest.raises(MissingPersistenceFile):
+            load_index(str(tmp_path / "idx"))

@@ -229,3 +229,94 @@ class TestScrub:
     def test_offline_scrub_refuses_non_durable_dir(self, tmp_path):
         with pytest.raises(PersistenceError):
             scrub_durable(str(tmp_path))
+
+
+class TestOneShotIterables:
+    def test_generator_keywords_hit_wal_and_index_alike(self, base,
+                                                        tmp_path):
+        """A one-shot iterable must not be drained by the WAL encoding,
+        leaving the live index with an empty keyword set."""
+        root = str(tmp_path / "dur")
+        with DurableMutableIndex.create(base, root) as index:
+            pid = index.insert(40.0, 40.0,
+                               (kw for kw in ["café", "pizza"]))
+            live = {p.poi_id: p for p in index.live_pois()}
+            assert live[pid].keywords == frozenset(["café", "pizza"])
+            before = probe(index)
+        with DurableMutableIndex.recover(root) as recovered:
+            live = {p.poi_id: p for p in recovered.live_pois()}
+            assert live[pid].keywords == frozenset(["café", "pizza"])
+            assert probe(recovered) == before
+
+
+class TestSnapshotSwapCrashes:
+    def crash_at(self, stage_name):
+        def failpoint(stage):
+            if stage == stage_name:
+                raise SimulatedCrash(stage)
+        return failpoint
+
+    @pytest.mark.parametrize("stage", ["swap.staged", "swap.displaced",
+                                       "swap.complete"])
+    def test_checkpoint_crash_inside_swap_recovers(self, base, tmp_path,
+                                                   stage):
+        """The high-severity window: between the swap's two renames the
+        snapshot directory does not exist at all."""
+        root = str(tmp_path / "dur")
+        index = DurableMutableIndex.create(base, root)
+        for i in range(6):
+            index.insert(float(i), 3.0, ["cafe"])
+        before = probe(index)
+        index._failpoint = self.crash_at(stage)
+        index._wal._failpoint = index._failpoint
+        with pytest.raises(SimulatedCrash):
+            index.checkpoint()
+        index.abandon()
+        with DurableMutableIndex.recover(root) as recovered:
+            assert recovered.op_seq == 6
+            assert probe(recovered) == before
+
+    def test_create_crash_before_meta_restarts_cleanly(self, base,
+                                                       tmp_path):
+        """durable.json lands last, so a crash during create() leaves a
+        directory create() itself restarts — never a wedged one."""
+        root = str(tmp_path / "dur")
+        with pytest.raises(SimulatedCrash):
+            DurableMutableIndex.create(
+                base, root, failpoint=self.crash_at("swap.staged"))
+        assert not is_durable_dir(root)
+        with pytest.raises(PersistenceError, match="not a durable"):
+            DurableMutableIndex.recover(root)
+        with DurableMutableIndex.create(base, root) as index:  # restart
+            assert index.op_seq == 0
+        with DurableMutableIndex.recover(root) as recovered:
+            assert recovered.op_seq == 0
+
+
+class TestScrubIsReadOnly:
+    def test_offline_scrub_reports_torn_tail_without_repairing(
+            self, base, tmp_path):
+        root = tmp_path / "dur"
+        with DurableMutableIndex.create(base, str(root)) as index:
+            index.insert(1.0, 1.0, ["cafe"])
+            index.insert(2.0, 2.0, ["food"])
+        wal_dir = root / "wal"
+        segment = sorted(wal_dir.glob("segment-*.wal"))[-1]
+        torn = segment.read_bytes()[:-3]  # tear the final record
+        segment.write_bytes(torn)
+        listing_before = sorted(p.name for p in wal_dir.iterdir())
+
+        report = scrub_durable(str(root))
+        assert not report.clean
+        assert report.wal.torn_at is not None
+        assert report.wal.records == 1
+        assert "torn" in report.summary()
+        # Strictly read-only: same files, same bytes, no new segment.
+        assert sorted(p.name for p in wal_dir.iterdir()) == listing_before
+        assert segment.read_bytes() == torn
+
+        # recover() is what repairs: it truncates the tail and keeps the
+        # intact prefix.
+        with DurableMutableIndex.recover(str(root)) as recovered:
+            assert recovered.op_seq == 1
+        assert scrub_durable(str(root)).clean
