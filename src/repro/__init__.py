@@ -47,6 +47,7 @@ from .service import (
     ServiceResponse,
     run_closed_loop,
 )
+from .trace import ExplainReport, TraceSink, Tracer, explain
 
 __version__ = "1.0.0"
 
@@ -57,6 +58,7 @@ __all__ = [
     "DesksSearcher",
     "DirectionInterval",
     "DirectionalQuery",
+    "ExplainReport",
     "FaultInjector",
     "IncrementalSearcher",
     "MatchMode",
@@ -73,7 +75,10 @@ __all__ = [
     "ResultEntry",
     "ServiceResponse",
     "ShardRouter",
+    "TraceSink",
+    "Tracer",
     "brute_force_search",
+    "explain",
     "load_index",
     "run_closed_loop",
     "save_index",

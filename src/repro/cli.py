@@ -12,6 +12,15 @@ Commands
 ``query``
     Answer one direction-aware query, building the index on the fly from
     a CSV or loading a saved one with ``--index``.
+``explain``
+    ``EXPLAIN ANALYZE`` one query: the plan (quadrant decomposition,
+    armed pruning lemmas), the span tree of what actually ran, and a
+    reconciliation of span counters against the search's independent
+    ``SearchStats``/``IOStats`` (exit 1 on any mismatch).
+``trace``
+    Run one query with :mod:`repro.trace` active and print the span
+    tree; ``--json`` exports it, ``--engine`` routes through the
+    serving layer so engine-level spans (cache, queue wait) appear too.
 ``bench``
     Quick single-machine comparison of DESKS vs the baselines on a CSV.
 ``serve-bench``
@@ -95,24 +104,23 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_query = sub.add_parser(
         "query", help="answer one query over a CSV or saved index")
-    p_query.add_argument("input", help="POI CSV path or (with --index) "
-                                       "a saved index directory")
-    p_query.add_argument("--index", action="store_true",
-                         help="treat input as a saved index directory")
-    p_query.add_argument("-x", type=float, required=True)
-    p_query.add_argument("-y", type=float, required=True)
-    p_query.add_argument("--alpha", type=float, default=0.0,
-                         help="lower direction bound in degrees")
-    p_query.add_argument("--beta", type=float, default=360.0,
-                         help="upper direction bound in degrees")
-    p_query.add_argument("--keywords", nargs="+", required=True)
-    p_query.add_argument("-k", type=int, default=10)
-    p_query.add_argument("--mode", choices=["R", "D", "RD"], default="RD")
-    p_query.add_argument("--match-any", action="store_true",
-                         help="match POIs containing ANY keyword "
-                              "(default: ALL)")
-    p_query.add_argument("--bands", type=int, default=None)
-    p_query.add_argument("--wedges", type=int, default=None)
+    _add_query_args(p_query)
+
+    p_explain = sub.add_parser(
+        "explain", help="EXPLAIN ANALYZE one query: plan, span tree, "
+                        "and counter reconciliation")
+    _add_query_args(p_explain)
+    p_explain.add_argument("--json", metavar="PATH", default=None,
+                           help="write the full report to PATH as JSON")
+
+    p_trace = sub.add_parser(
+        "trace", help="run one query traced and print/export the span tree")
+    _add_query_args(p_trace)
+    p_trace.add_argument("--engine", action="store_true",
+                         help="route through the serving layer "
+                              "(adds engine.* spans: cache, queue wait)")
+    p_trace.add_argument("--json", metavar="PATH", default=None,
+                         help="write the trace to PATH as JSON")
 
     p_bench = sub.add_parser(
         "bench", help="compare DESKS vs baselines on a CSV")
@@ -216,6 +224,44 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _add_query_args(p: argparse.ArgumentParser) -> None:
+    """The single-query argument set shared by query/explain/trace."""
+    p.add_argument("input", help="POI CSV path or (with --index) "
+                                 "a saved index directory")
+    p.add_argument("--index", action="store_true",
+                   help="treat input as a saved index directory")
+    p.add_argument("-x", type=float, required=True)
+    p.add_argument("-y", type=float, required=True)
+    p.add_argument("--alpha", type=float, default=0.0,
+                   help="lower direction bound in degrees")
+    p.add_argument("--beta", type=float, default=360.0,
+                   help="upper direction bound in degrees")
+    p.add_argument("--keywords", nargs="+", required=True)
+    p.add_argument("-k", type=int, default=10)
+    p.add_argument("--mode", choices=["R", "D", "RD"], default="RD")
+    p.add_argument("--match-any", action="store_true",
+                   help="match POIs containing ANY keyword "
+                        "(default: ALL)")
+    p.add_argument("--bands", type=int, default=None)
+    p.add_argument("--wedges", type=int, default=None)
+
+
+def _load_query_target(args: argparse.Namespace) -> DesksIndex:
+    """The index named by a query-style command's ``input`` argument."""
+    if args.index:
+        return load_index(args.input)
+    return DesksIndex(load_csv(args.input), num_bands=args.bands,
+                      num_wedges=args.wedges)
+
+
+def _parse_query(args: argparse.Namespace) -> DirectionalQuery:
+    """Build the DirectionalQuery a query-style command describes."""
+    mode = MatchMode.ANY if args.match_any else MatchMode.ALL
+    return DirectionalQuery.make(
+        args.x, args.y, math.radians(args.alpha), math.radians(args.beta),
+        args.keywords, args.k, match_mode=mode)
+
+
 def _cmd_generate(args: argparse.Namespace) -> int:
     if args.preset:
         collection = load_preset(args.preset, scale=args.scale)
@@ -250,19 +296,11 @@ def _cmd_build(args: argparse.Namespace) -> int:
 
 def _cmd_query(args: argparse.Namespace) -> int:
     started = time.perf_counter()
-    if args.index:
-        index = load_index(args.input)
-        collection = index.collection
-    else:
-        collection = load_csv(args.input)
-        index = DesksIndex(collection, num_bands=args.bands,
-                           num_wedges=args.wedges)
+    index = _load_query_target(args)
+    collection = index.collection
     build_ms = (time.perf_counter() - started) * 1000.0
     searcher = DesksSearcher(index)
-    mode = MatchMode.ANY if args.match_any else MatchMode.ALL
-    query = DirectionalQuery.make(
-        args.x, args.y, math.radians(args.alpha), math.radians(args.beta),
-        args.keywords, args.k, match_mode=mode)
+    query = _parse_query(args)
     stats = SearchStats()
     started = time.perf_counter()
     result = searcher.search(query, PruningMode[args.mode], stats)
@@ -283,6 +321,51 @@ def _cmd_query(args: argparse.Namespace) -> int:
         print(f"{rank:3}. poi#{entry.poi_id:<8} dist={entry.distance:10.2f}"
               f"  bearing={bearing:6.1f} deg  "
               f"{' '.join(sorted(poi.keywords)[:6])}")
+    return 0
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    from .trace import explain
+
+    index = _load_query_target(args)
+    query = _parse_query(args)
+    report = explain(index, query, mode=args.mode)
+    print(report.render())
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            handle.write(report.to_json())
+            handle.write("\n")
+        print(f"wrote explain report to {args.json}")
+    if not report.reconciled:
+        print("error: span counters do not reconcile with SearchStats/"
+              "IOStats — the trace is misattributing cost",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from .trace import Tracer
+
+    index = _load_query_target(args)
+    query = _parse_query(args)
+    tracer = Tracer()
+    if args.engine:
+        from .service import QueryEngine
+
+        with QueryEngine(index, mode=PruningMode[args.mode]) as engine:
+            with tracer.activate():
+                engine.submit(query).result()
+    else:
+        searcher = DesksSearcher(index)
+        with tracer.activate():
+            searcher.search(query, PruningMode[args.mode])
+    print(tracer.render())
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            handle.write(tracer.to_json())
+            handle.write("\n")
+        print(f"wrote trace to {args.json}")
     return 0
 
 
@@ -522,6 +605,8 @@ _COMMANDS = {
     "stats": _cmd_stats,
     "build": _cmd_build,
     "query": _cmd_query,
+    "explain": _cmd_explain,
+    "trace": _cmd_trace,
     "bench": _cmd_bench,
     "serve-bench": _cmd_serve_bench,
     "cluster-bench": _cmd_cluster_bench,

@@ -85,6 +85,7 @@ class ClusterLayout:
 
     @property
     def num_shards(self) -> int:
+        """Number of shards in the layout."""
         return len(self.shards)
 
     def to_meta(self) -> dict:

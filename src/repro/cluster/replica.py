@@ -146,11 +146,13 @@ class Replica:
         self._lock = threading.Lock()
 
     def mark_success(self) -> None:
+        """Record a successful request; an unhealthy replica recovers."""
         with self._lock:
             self.consecutive_failures = 0
             self.healthy = True
 
     def mark_failure(self) -> None:
+        """Record a failure; ``health_threshold`` in a row marks unhealthy."""
         with self._lock:
             self.consecutive_failures += 1
             self.total_failures += 1
@@ -158,6 +160,7 @@ class Replica:
                 self.healthy = False
 
     def quarantine(self, cause: str) -> None:
+        """Exclude this replica from dispatch until ``release()`` is called."""
         with self._lock:
             self.quarantined = True
             self.quarantine_cause = cause
@@ -287,5 +290,6 @@ class ReplicaSet:
         ]
 
     def close(self) -> None:
+        """Close every replica's engine."""
         for replica in self.replicas:
             replica.engine.close()

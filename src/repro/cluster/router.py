@@ -35,6 +35,7 @@ from __future__ import annotations
 
 import time
 from concurrent.futures import Future, ThreadPoolExecutor
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -52,6 +53,7 @@ from ..core import (
 from ..datasets import POICollection
 from ..geometry import sector_intersects_mbr
 from ..service import Deadline, MetricsRegistry
+from ..trace import current_tracer, traced
 from .partition import ClusterLayout, ShardSpec, build_layout, shard_collection
 from .replica import FaultInjector, ReplicaSet, ShardUnavailableError
 from .stats import ClusterStats
@@ -209,10 +211,33 @@ class ShardRouter:
         *remaining* budget, and once the budget is gone, waves stop
         dispatching — the shards not yet reached are counted as skipped
         and the answer is flagged partial.
+
+        With a :class:`~repro.trace.Tracer` active in the calling context
+        the scatter-gather records a ``router.execute`` span tree:
+        ``router.plan`` (pruning decisions), one ``router.wave`` per
+        dispatch wave, and one ``router.shard`` per shard call — running
+        on the pool but parented under its wave, with queue wait recorded.
         """
+        tracer = current_tracer()
+        if tracer is None:
+            return self._execute_impl(query, timeout, None, None)
+        with tracer.span("router.execute") as span:
+            return self._execute_impl(query, timeout, tracer, span)
+
+    def _execute_impl(self, query: DirectionalQuery,
+                      timeout: Optional[float], tracer, span,
+                      ) -> ClusterResponse:
+        """The untraced scatter-gather body (``execute`` wraps it)."""
         started = time.monotonic()
         deadline = Deadline.from_timeout(timeout)
         survivors, keyword_pruned, sector_pruned = self.plan(query)
+        if tracer is not None:
+            tracer.record(
+                "router.plan", seconds=time.monotonic() - started,
+                parent=span, shards_total=self.num_shards,
+                shards_keyword_pruned=keyword_pruned,
+                shards_sector_pruned=sector_pruned,
+                survivors=len(survivors))
 
         merged: List[ResultEntry] = []
         kth_bound = float("inf")
@@ -222,6 +247,7 @@ class ShardRouter:
         partial = False
         deadline_expired = False
         position = 0
+        wave_number = 0
         while position < len(survivors):
             if deadline.expired():
                 # Budget exhausted between waves: everything still queued
@@ -232,38 +258,57 @@ class ShardRouter:
                 break
             shard_timeout = (None if deadline.is_unbounded
                              else deadline.remaining())
-            wave: List[Tuple[Shard, "Future"]] = []
-            while position < len(survivors) and len(wave) < self.max_fanout:
-                mindist, shard = survivors[position]
-                position += 1
-                # Early termination (cluster-level Lemma 1): survivors are
-                # MINDIST-sorted, but only this shard is decided here —
-                # later shards may still be reached after the next wave
-                # re-tightens the bound.  Strict > keeps distance ties
-                # eligible so global tie-breaking matches the unsharded
-                # index.
-                if mindist > kth_bound:
-                    skipped += 1
-                    continue
-                wave.append((shard,
-                             self._executor.submit(shard.replicas.execute,
-                                                   query, shard_timeout)))
-            dispatched += len(wave)
-            for shard, future in wave:
-                try:
-                    response, attempts = future.result()
-                except ShardUnavailableError:
-                    failed.append(shard.spec.shard_id)
-                    retries += len(shard.replicas) - 1
-                    partial = True
-                    continue
-                retries += attempts
-                partial = partial or response.result.partial
-                merged.extend(shard.globalize(response.result))
-            merged.sort()
-            del merged[query.k:]
-            if len(merged) == query.k:
-                kth_bound = merged[-1].distance
+            wave_cm = (tracer.span("router.wave", wave=wave_number)
+                       if tracer is not None else nullcontext())
+            with wave_cm as wave_span:
+                wave: List[Tuple[Shard, "Future"]] = []
+                wave_skipped = 0
+                while (position < len(survivors)
+                       and len(wave) < self.max_fanout):
+                    mindist, shard = survivors[position]
+                    position += 1
+                    # Early termination (cluster-level Lemma 1): survivors
+                    # are MINDIST-sorted, but only this shard is decided
+                    # here — later shards may still be reached after the
+                    # next wave re-tightens the bound.  Strict > keeps
+                    # distance ties eligible so global tie-breaking
+                    # matches the unsharded index.
+                    if mindist > kth_bound:
+                        skipped += 1
+                        wave_skipped += 1
+                        continue
+                    call = shard.replicas.execute
+                    if tracer is not None:
+                        call = traced("router.shard", call,
+                                      record_queue_wait=True,
+                                      shard_id=shard.spec.shard_id,
+                                      mindist=mindist)
+                    wave.append((shard,
+                                 self._executor.submit(call, query,
+                                                       shard_timeout)))
+                dispatched += len(wave)
+                for shard, future in wave:
+                    try:
+                        response, attempts = future.result()
+                    except ShardUnavailableError:
+                        failed.append(shard.spec.shard_id)
+                        retries += len(shard.replicas) - 1
+                        partial = True
+                        continue
+                    retries += attempts
+                    partial = partial or response.result.partial
+                    merged.extend(shard.globalize(response.result))
+                merged.sort()
+                del merged[query.k:]
+                if len(merged) == query.k:
+                    kth_bound = merged[-1].distance
+                if wave_span is not None:
+                    wave_span.annotate(
+                        shards_dispatched=len(wave),
+                        shards_skipped=wave_skipped,
+                        merged_results=len(merged),
+                        kth_bound=kth_bound)
+            wave_number += 1
 
         quarantined = [shard.spec.shard_id for shard in self.shards
                        if shard.replicas.quarantined_replicas()]
@@ -281,6 +326,19 @@ class ShardRouter:
             latency_seconds=time.monotonic() - started,
             deadline_expired=deadline_expired,
         )
+        if span is not None:
+            span.annotate(
+                results=len(response.result),
+                partial=response.result.partial,
+                shards_total=self.num_shards,
+                shards_keyword_pruned=keyword_pruned,
+                shards_sector_pruned=sector_pruned,
+                shards_dispatched=dispatched,
+                shards_skipped=skipped,
+                waves=wave_number,
+                failed_shards=len(failed),
+                replica_retries=retries,
+                deadline_expired=deadline_expired)
         self.stats.record(response)
         return response
 
@@ -293,6 +351,7 @@ class ShardRouter:
 
     @property
     def metrics(self) -> MetricsRegistry:
+        """The cluster-level metrics registry."""
         return self.stats.registry
 
     def metrics_snapshot(self) -> Dict[str, object]:

@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import heapq
 import math
+import time
 from bisect import bisect_left
 from dataclasses import dataclass, field
 from enum import Enum
@@ -31,6 +32,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..storage import SearchStats
 from ..text import intersect_sorted, union_sorted
+from ..trace.spans import Span, Tracer, current_tracer
 from .index import AnchorIndex, DesksIndex
 from .mindist import (
     BasicQueryGeometry,
@@ -39,7 +41,7 @@ from .mindist import (
     subregion_mindist,
 )
 from .query import DirectionalQuery, MatchMode, QueryResult, ResultEntry
-from .trace import BandTrace, QueryTrace
+from .trace import BandTrace, QueryTrace, WedgeTrace
 from .regions import Band
 
 INF = math.inf
@@ -161,7 +163,31 @@ class DesksSearcher:
         the search stops and returns the best answers found so far with
         ``partial=True`` instead of raising — graceful degradation for the
         serving layer.  Every returned entry is still a verified answer.
+
+        When a :class:`repro.trace.Tracer` is active in the calling context
+        the search additionally emits a ``desks.search`` span tree
+        (prepare / sub-query / band / wedge stages with page-read and
+        pruning attribution); with no active tracer the only cost is one
+        ``ContextVar`` lookup.
         """
+        tracer = current_tracer()
+        if tracer is None:
+            return self._search_impl(query, mode, stats, seed_entries,
+                                     trace, deadline)
+        qtrace = trace if trace is not None else QueryTrace()
+        with tracer.span("desks.search", mode=mode.name, k=query.k) as span:
+            result = self._search_impl(query, mode, stats, seed_entries,
+                                       qtrace, deadline)
+            _emit_query_spans(tracer, span, qtrace, result)
+        return result
+
+    def _search_impl(self, query: DirectionalQuery,
+                     mode: PruningMode,
+                     stats: Optional[SearchStats],
+                     seed_entries: Optional[Iterable[ResultEntry]],
+                     trace: Optional[QueryTrace],
+                     deadline: Optional["SupportsExpired"]) -> QueryResult:
+        """The untraced search body (``search`` wraps it in a span)."""
         collector = _TopK(query.k, seed=seed_entries)
         conjunctive = query.match_mode is MatchMode.ALL
         term_ids = self._collection.query_term_ids(
@@ -170,7 +196,14 @@ class DesksSearcher:
             if trace is not None:
                 trace.num_results = len(collector.entries())
             return QueryResult(collector.entries())
+        if trace is not None:
+            io = self.index.io_stats
+            pages_before = io.logical_reads
+            tick = time.perf_counter()
         subqueries = self._prepare_subqueries(query, term_ids)
+        if trace is not None:
+            trace.prepare_seconds = time.perf_counter() - tick
+            trace.prepare_pages = io.logical_reads - pages_before
         completed = self._run(query, subqueries, collector, mode, stats,
                               trace, deadline)
         result = QueryResult(collector.entries(), partial=not completed)
@@ -268,8 +301,16 @@ class DesksSearcher:
             band = sub.anchor.regions.bands[band_idx]
             band_trace = (trace.begin_band(sub.quadrant, band_idx, priority)
                           if trace is not None else None)
-            if not self._scan_band(query, sub, band, collector, mode, stats,
-                                   band_trace, deadline):
+            if band_trace is not None:
+                io = self.index.io_stats
+                pages_before = io.logical_reads
+                tick = time.perf_counter()
+            completed = self._scan_band(query, sub, band, collector, mode,
+                                        stats, band_trace, deadline)
+            if band_trace is not None:
+                band_trace.seconds = time.perf_counter() - tick
+                band_trace.pages_read = io.logical_reads - pages_before
+            if not completed:
                 return False
             push_band(sub, band_idx + 1)
         return True
@@ -305,15 +346,33 @@ class DesksSearcher:
                                                 stats, band_trace)
         scanned = 0
         completed = True
-        for mindist, subregion_gid in candidates:
+        for position, (mindist, subregion_gid) in enumerate(candidates):
             if mode.direction and mindist >= collector.kth_distance:
-                break  # candidates are MINDIST-sorted (Alg. 1 line 9)
+                # Candidates are MINDIST-sorted (Alg. 1 line 9): the whole
+                # tail is cut by the tightened d_k bound, i.e. MINDIST-pruned.
+                if band_trace is not None:
+                    band_trace.subregions_mindist_pruned += \
+                        len(candidates) - position
+                break
             if deadline is not None and deadline.expired():
                 completed = False
                 break
             scanned += 1
+            if band_trace is not None:
+                io = self.index.io_stats
+                fetched = band_trace.pois_fetched
+                verified = band_trace.pois_verified
+                pages = io.logical_reads
+                tick = time.perf_counter()
             self._scan_subregion(query, sub, subregion_gid, collector,
                                  stats, band_trace)
+            if band_trace is not None:
+                band_trace.wedges.append(WedgeTrace(
+                    subregion_gid, mindist,
+                    time.perf_counter() - tick,
+                    band_trace.pois_fetched - fetched,
+                    band_trace.pois_verified - verified,
+                    io.logical_reads - pages))
         if band_trace is not None:
             band_trace.subregions_kept = scanned
         return completed
@@ -339,6 +398,11 @@ class DesksSearcher:
         else:
             gid_lo, gid_hi = first_gid, end_gid
         selected = _slice_sorted(sub.candidate_gids, gid_lo, gid_hi)
+        if band_trace is not None and mode.direction:
+            in_band = len(_slice_sorted(sub.candidate_gids, first_gid,
+                                        end_gid))
+            band_trace.subregions_window_pruned = in_band - len(selected)
+            band_trace.mindist_evaluations = len(selected)
         out: List[Tuple[float, int]] = []
         pruned = 0
         for gid in selected:
@@ -407,3 +471,81 @@ def _slice_sorted(values: Sequence[int], lo: int, hi: int) -> Sequence[int]:
     start = bisect_left(values, lo)
     end = bisect_left(values, hi, start)
     return values[start:end]
+
+
+def _emit_query_spans(tracer: Tracer, parent: Span, qtrace: QueryTrace,
+                      result: QueryResult) -> None:
+    """Convert a filled :class:`QueryTrace` into spans under ``parent``.
+
+    The searcher measures its stages through the (cheap, allocation-light)
+    ``QueryTrace`` hooks while running, then converts the measurements into
+    a span tree here — one ``desks.prepare`` span, one ``desks.subquery``
+    per basic sub-query, one ``desks.band`` per band popped from the
+    region queue, one ``desks.wedge`` per sub-region scanned.  Root attrs
+    carry the totals that reconcile with
+    :class:`~repro.storage.SearchStats` / :class:`~repro.storage.IOStats`.
+    """
+    parent.annotate(
+        results=len(result),
+        partial=result.partial,
+        terminated_early=qtrace.terminated_early,
+        bands_scanned=qtrace.bands_scanned,
+        bands_skipped_lemma1=qtrace.bands_skipped_lemma1,
+        pages_read=qtrace.total_pages_read,
+        pois_fetched=qtrace.total_pois_fetched,
+        pois_verified=qtrace.total_pois_verified,
+        subregions_examined=qtrace.total_subregions_examined,
+        subregions_pruned=(qtrace.total_subregions_window_pruned
+                           + qtrace.total_subregions_mindist_pruned),
+        mindist_evaluations=qtrace.total_mindist_evaluations,
+    )
+    tracer.record(
+        "desks.prepare", seconds=qtrace.prepare_seconds, parent=parent,
+        pages_read=qtrace.prepare_pages, subqueries=len(qtrace.subqueries))
+    by_quadrant: Dict[int, Span] = {}
+    for sub in qtrace.subqueries:
+        quadrant_bands = [b for b in qtrace.bands
+                          if b.quadrant == sub.quadrant]
+        span = tracer.record(
+            "desks.subquery",
+            seconds=sum(b.seconds for b in quadrant_bands),
+            parent=parent,
+            quadrant=sub.quadrant,
+            interval_lower=sub.interval_lower,
+            interval_upper=sub.interval_upper,
+            start_band=sub.start_band,
+            candidate_subregions=sub.candidate_subregions,
+        )
+        by_quadrant[sub.quadrant] = span
+    for band in qtrace.bands:
+        attrs: Dict[str, object] = {
+            "quadrant": band.quadrant,
+            "band_index": band.band_index,
+            "priority": band.priority,
+            "action": band.action,
+        }
+        if band.action == "scanned":
+            attrs.update(
+                subregions_kept=band.subregions_kept,
+                subregions_window_pruned=band.subregions_window_pruned,
+                subregions_mindist_pruned=band.subregions_mindist_pruned,
+                subregions_examined=band.subregions_examined,
+                mindist_evaluations=band.mindist_evaluations,
+                pois_fetched=band.pois_fetched,
+                pois_verified=band.pois_verified,
+                pages_read=band.pages_read,
+            )
+            if band.tau_bounds is not None:
+                attrs["tau_lower"], attrs["tau_upper"] = band.tau_bounds
+            if band.wedge_window is not None:
+                attrs["wedge_window"] = list(band.wedge_window)
+        band_span = tracer.record(
+            "desks.band", seconds=band.seconds,
+            parent=by_quadrant.get(band.quadrant, parent), **attrs)
+        for wedge in band.wedges:
+            tracer.record(
+                "desks.wedge", seconds=wedge.seconds, parent=band_span,
+                gid=wedge.gid, mindist=wedge.mindist,
+                pois_fetched=wedge.pois_fetched,
+                pois_verified=wedge.pois_verified,
+                pages_read=wedge.pages_read)

@@ -4,11 +4,23 @@ Pass a :class:`QueryTrace` to :meth:`DesksSearcher.search` (``trace=``)
 and it fills with the search's actual decisions: which basic sub-queries
 the interval decomposed into, every band popped from the region queue with
 its Eq. 4 priority, the per-band direction bounds and surviving candidate
-sub-regions, and the POI counts fetched/verified.  ``render()`` prints the
-whole story.
+sub-regions, the POI counts fetched/verified, and — per band — wall time
+and logical page reads attributed from :class:`~repro.storage.IOStats`
+deltas.  ``render()`` prints the whole story.
+
+The cost decomposition mirrors the paper's pruning structure:
+
+* ``start_band`` on a sub-query counts the bands Lemma 1 skipped outright;
+* ``subregions_window_pruned`` counts sub-regions discarded by the
+  Lemma 3 wedge window (from the Lemma 2/4 tau bounds, Eqs. 5-6);
+* ``subregions_mindist_pruned`` counts sub-regions whose Table I MINDIST
+  could not beat the current ``d_k``;
+* an ``action="terminated"`` band marks Lemma 1's early termination.
 
 Tracing exists for humans (debugging an unexpected answer, teaching the
-algorithm); it adds overhead, so benchmarks never pass one.
+algorithm) and for the span tracer in :mod:`repro.trace`, which converts a
+filled ``QueryTrace`` into its span tree; it adds overhead, so benchmarks
+never pass one.
 """
 
 from __future__ import annotations
@@ -18,16 +30,37 @@ from typing import List, Optional, Tuple
 
 
 @dataclass
+class WedgeTrace:
+    """One sub-region (wedge) actually scanned inside a band."""
+
+    gid: int
+    mindist: float
+    seconds: float = 0.0
+    pois_fetched: int = 0
+    pois_verified: int = 0
+    pages_read: int = 0
+
+    def render(self) -> str:
+        """One line: wedge id, MINDIST, POI and page counts."""
+        return (f"    wedge gid={self.gid} mindist={self.mindist:.4f} "
+                f"pois={self.pois_fetched} verified={self.pois_verified}"
+                + (f" pages={self.pages_read}" if self.pages_read else ""))
+
+
+@dataclass
 class SubqueryTrace:
     """One basic sub-query produced by quadrant decomposition."""
 
     quadrant: int
     interval_lower: float
     interval_upper: float
+    #: First band the scan considered — bands ``0..start_band-1`` were
+    #: skipped by Lemma 1 (region pruning); 0 when region pruning is off.
     start_band: int
     candidate_subregions: int
 
     def render(self) -> str:
+        """One line: quadrant, canonical interval, Lemma 1 skip, candidates."""
         return (f"  subquery quadrant={self.quadrant} canonical interval="
                 f"[{self.interval_lower:.4f}, {self.interval_upper:.4f}] "
                 f"start band={self.start_band} keyword sub-regions="
@@ -46,10 +79,27 @@ class BandTrace:
     wedge_window: Optional[Tuple[int, int]] = None
     subregions_kept: int = 0
     subregions_mindist_pruned: int = 0
+    #: Keyword-bearing sub-regions in this band that the Lemma 3 wedge
+    #: window (tau bounds, Lemmas 2/4) excluded before any MINDIST work.
+    subregions_window_pruned: int = 0
+    #: ``subregion_mindist`` (Table I) evaluations this band required.
+    mindist_evaluations: int = 0
     pois_fetched: int = 0
     pois_verified: int = 0
+    #: Logical page reads attributed to this band's scan (IOStats delta).
+    pages_read: int = 0
+    #: Wall-clock seconds spent scanning this band.
+    seconds: float = 0.0
+    #: Per-wedge detail of every sub-region actually scanned.
+    wedges: List[WedgeTrace] = field(default_factory=list)
+
+    @property
+    def subregions_examined(self) -> int:
+        """Sub-regions surviving the wedge window (kept + MINDIST-pruned)."""
+        return self.subregions_kept + self.subregions_mindist_pruned
 
     def render(self) -> str:
+        """One line per band (plus wedge lines when detail was recorded)."""
         parts = [f"  band q{self.quadrant}/R{self.band_index} "
                  f"priority={self.priority:.4f} -> {self.action}"]
         if self.action == "scanned":
@@ -61,12 +111,19 @@ class BandTrace:
                 parts.append(
                     f"wedges[{self.wedge_window[0]}:{self.wedge_window[1]}]")
             parts.append(f"kept={self.subregions_kept}")
+            if self.subregions_window_pruned:
+                parts.append(
+                    f"window-pruned={self.subregions_window_pruned}")
             if self.subregions_mindist_pruned:
                 parts.append(
                     f"mindist-pruned={self.subregions_mindist_pruned}")
             parts.append(f"pois={self.pois_fetched}")
             parts.append(f"verified={self.pois_verified}")
-        return " ".join(parts)
+            if self.pages_read:
+                parts.append(f"pages={self.pages_read}")
+        lines = [" ".join(parts)]
+        lines.extend(wedge.render() for wedge in self.wedges)
+        return "\n".join(lines)
 
 
 @dataclass
@@ -77,22 +134,30 @@ class QueryTrace:
     bands: List[BandTrace] = field(default_factory=list)
     terminated_early: bool = False
     num_results: int = 0
+    #: Wall-clock seconds spent preparing sub-queries (keyword lookups,
+    #: candidate sub-region intersection — the paper's ``L^R_K`` step).
+    prepare_seconds: float = 0.0
+    #: Logical page reads during preparation (region-list records).
+    prepare_pages: int = 0
 
     # -- recording hooks (called by DesksSearcher) ---------------------------
 
     def record_subquery(self, quadrant: int, lower: float, upper: float,
                         start_band: int, candidates: int) -> None:
+        """Record one basic sub-query the interval decomposed into."""
         self.subqueries.append(SubqueryTrace(
             quadrant, lower, upper, start_band, candidates))
 
     def begin_band(self, quadrant: int, band_index: int,
                    priority: float) -> BandTrace:
+        """Open the trace entry for a band about to be scanned."""
         band = BandTrace(quadrant, band_index, priority, "scanned")
         self.bands.append(band)
         return band
 
     def record_termination(self, quadrant: int, band_index: int,
                            priority: float) -> None:
+        """Record Lemma 1's early termination at this band."""
         self.bands.append(BandTrace(quadrant, band_index, priority,
                                     "terminated"))
         self.terminated_early = True
@@ -101,11 +166,48 @@ class QueryTrace:
 
     @property
     def bands_scanned(self) -> int:
+        """Bands actually popped and scanned (not terminated entries)."""
         return sum(1 for b in self.bands if b.action == "scanned")
 
     @property
     def total_pois_fetched(self) -> int:
+        """POIs fetched from keyword lists across all bands."""
         return sum(b.pois_fetched for b in self.bands)
+
+    @property
+    def total_pois_verified(self) -> int:
+        """POIs passing the exact direction + keyword verification."""
+        return sum(b.pois_verified for b in self.bands)
+
+    @property
+    def total_subregions_examined(self) -> int:
+        """Sub-regions surviving the wedge window across all bands."""
+        return sum(b.subregions_examined for b in self.bands)
+
+    @property
+    def total_subregions_window_pruned(self) -> int:
+        """Sub-regions pruned by the Lemma 3 wedge window (Lemmas 2-4)."""
+        return sum(b.subregions_window_pruned for b in self.bands)
+
+    @property
+    def total_subregions_mindist_pruned(self) -> int:
+        """Sub-regions pruned by their Table I MINDIST vs ``d_k``."""
+        return sum(b.subregions_mindist_pruned for b in self.bands)
+
+    @property
+    def total_mindist_evaluations(self) -> int:
+        """Table I MINDIST evaluations across all bands."""
+        return sum(b.mindist_evaluations for b in self.bands)
+
+    @property
+    def total_pages_read(self) -> int:
+        """Logical page reads: preparation plus every band scan."""
+        return self.prepare_pages + sum(b.pages_read for b in self.bands)
+
+    @property
+    def bands_skipped_lemma1(self) -> int:
+        """Bands Lemma 1 skipped outright (sum of sub-query start bands)."""
+        return sum(s.start_band for s in self.subqueries)
 
     def render(self) -> str:
         """Human-readable, ``EXPLAIN ANALYZE``-style report."""

@@ -219,20 +219,25 @@ class ChaosReport:
 
     @property
     def total(self) -> int:
+        """Number of crash trials run."""
         return len(self.trials)
 
     @property
     def identical(self) -> int:
+        """Trials whose recovery matched the never-crashed twin."""
         return sum(1 for t in self.trials if t.identical)
 
     @property
     def all_identical(self) -> bool:
+        """True when every trial recovered byte-identically."""
         return self.identical == self.total
 
     def failures(self) -> List[CrashTrialResult]:
+        """The trials that diverged after recovery."""
         return [t for t in self.trials if not t.identical]
 
     def summary(self) -> str:
+        """One line for the chaos-bench report."""
         return (f"{self.identical}/{self.total} trials recovered "
                 f"byte-identically")
 
@@ -327,14 +332,18 @@ class CorruptionTrialResult:
 
 @dataclass
 class CorruptionReport:
+    """Aggregate over a batch of corruption-injection trials."""
+
     trials: List[CorruptionTrialResult] = field(default_factory=list)
 
     @property
     def total(self) -> int:
+        """Number of injection trials run."""
         return len(self.trials)
 
     @property
     def silent_wrong(self) -> int:
+        """Wrong answers served without any detection — must stay 0."""
         return sum(t.silent_wrong for t in self.trials)
 
     @property
@@ -345,9 +354,11 @@ class CorruptionReport:
 
     @property
     def all_surfaced(self) -> bool:
+        """True when every injection was detected or harmless."""
         return self.silent_wrong == 0 and self.undetected == 0
 
     def summary(self) -> str:
+        """One line for the chaos-bench report."""
         return (f"{self.total} injection(s): {self.undetected} undetected, "
                 f"{self.silent_wrong} silently wrong answer(s)")
 

@@ -31,8 +31,10 @@ from __future__ import annotations
 
 import json
 import os
+from contextlib import nullcontext
 from typing import Iterable, Optional
 
+from ..trace.spans import current_tracer
 from ..core.dynamic import MutableDesksIndex
 from ..core.index import DesksIndex
 from ..core.persistence import (
@@ -68,6 +70,13 @@ WAL_DIR = "wal"
 #: Name of the op-sequence marker stored *inside* the snapshot directory,
 #: so snapshot contents and marker swap into place in one rename.
 SNAPSHOT_MARKER = "durable.json"
+
+
+def _maybe_span(name: str):
+    """A tracer span when tracing is active, else a no-op context."""
+    tracer = current_tracer()
+    return tracer.span(name) if tracer is not None else nullcontext()
+
 
 _OP_INSERT = 1
 _OP_DELETE = 2
@@ -210,12 +219,14 @@ class DurableMutableIndex(MutableDesksIndex):
 
     @property
     def wal(self) -> WriteAheadLog:
+        """The underlying write-ahead log."""
         return self._wal
 
     # -- logged mutations ----------------------------------------------------
 
     def insert(self, x: float, y: float, keywords: Iterable[str]) -> int:
-        with self._lock:
+        """Insert a POI, WAL-first; returns its id."""
+        with _maybe_span("durable.insert"), self._lock:
             self._check_usable()
             # Materialize once: ``keywords`` may be a one-shot iterable,
             # and the WAL payload and the live index must see the same
@@ -231,7 +242,8 @@ class DurableMutableIndex(MutableDesksIndex):
             return super().insert(x, y, kws)
 
     def delete(self, poi_id: int) -> bool:
-        with self._lock:
+        """Delete a POI, WAL-first; True if it existed."""
+        with _maybe_span("durable.delete"), self._lock:
             self._check_usable()
             if not self._replaying:
                 payload = (encode_varint(self._op_seq + 1)
@@ -276,7 +288,7 @@ class DurableMutableIndex(MutableDesksIndex):
         but before truncation, replay skips the absorbed prefix via the
         marker.
         """
-        with self._lock:
+        with _maybe_span("durable.checkpoint"), self._lock:
             self._check_usable()
             # Compaction re-densifies ids without a WAL record of it; if
             # the snapshot that would make it durable then fails (short of
@@ -287,9 +299,12 @@ class DurableMutableIndex(MutableDesksIndex):
             self._poisoned = True
             self._checkpointing = True
             try:
-                self.compact()
-                self._save_snapshot()
-                self._wal.checkpoint()
+                with _maybe_span("durable.compact"):
+                    self.compact()
+                with _maybe_span("durable.snapshot"):
+                    self._save_snapshot()
+                with _maybe_span("wal.truncate"):
+                    self._wal.checkpoint()
             finally:
                 self._checkpointing = False
             self._poisoned = False
@@ -362,9 +377,11 @@ class DurabilityScrubReport:
 
     @property
     def clean(self) -> bool:
+        """True when neither the snapshot nor the WAL has damage."""
         return self.snapshot.clean and self.wal.clean
 
     def summary(self) -> str:
+        """One line combining the snapshot and WAL verdicts."""
         return f"{self.snapshot.summary()}; {self.wal.summary()}"
 
 

@@ -42,6 +42,7 @@ class CacheStats:
 
     @property
     def lookups(self) -> int:
+        """Total lookups, hit or miss."""
         return self.hits + self.misses
 
     @property

@@ -52,6 +52,7 @@ class Deadline:
 
     @property
     def is_unbounded(self) -> bool:
+        """True when this deadline can never expire."""
         return self._expires_at == math.inf
 
     def expired(self) -> bool:

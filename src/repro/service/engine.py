@@ -42,6 +42,7 @@ from ..core import (
     QueryResult,
 )
 from ..storage import PageCorruptionError, SearchStats
+from ..trace import TraceSink, Tracer, current_tracer, traced
 from .cache import ResultCache
 from .deadline import Deadline
 from .metrics import MetricsRegistry, PAGES_BUCKETS
@@ -81,7 +82,8 @@ class QueryEngine:
                  location_quantum: float = 0.0,
                  default_timeout: Optional[float] = None,
                  metrics: Optional[MetricsRegistry] = None,
-                 executor: Optional[ThreadPoolExecutor] = None) -> None:
+                 executor: Optional[ThreadPoolExecutor] = None,
+                 tracing: bool = False) -> None:
         if num_workers <= 0:
             raise ValueError(f"num_workers must be positive: {num_workers}")
         self.index = index
@@ -90,6 +92,10 @@ class QueryEngine:
         self.cache = cache if cache is not None else ResultCache(
             cache_capacity, location_quantum)
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        # ``tracing=True`` traces every request the caller didn't already
+        # trace and folds the span aggregates into ``metrics`` via a
+        # TraceSink — stage-level dashboards without per-call plumbing.
+        self._trace_sink = TraceSink(self.metrics) if tracing else None
         self.num_workers = num_workers
         self._mutable = isinstance(index, MutableDesksIndex)
         if self._mutable:
@@ -130,13 +136,35 @@ class QueryEngine:
 
     def execute(self, query: DirectionalQuery,
                 timeout: Optional[float] = None) -> ServiceResponse:
-        """Serve one query on the calling thread (cache, then search)."""
+        """Serve one query on the calling thread (cache, then search).
+
+        With a :class:`~repro.trace.Tracer` active in the calling context
+        (or the engine constructed with ``tracing=True``) the request
+        records an ``engine.execute`` span — cache hit/miss, pages read,
+        deadline slack — with the search's own span tree beneath it.
+        """
+        tracer = current_tracer()
+        if tracer is None and self._trace_sink is not None:
+            with Tracer(sink=self._trace_sink).activate():
+                return self.execute(query, timeout)
+        if tracer is None:
+            return self._execute_impl(query, timeout, None)
+        with tracer.span("engine.execute") as span:
+            return self._execute_impl(query, timeout, span)
+
+    def _execute_impl(self, query: DirectionalQuery,
+                      timeout: Optional[float],
+                      span) -> ServiceResponse:
+        """The untraced serve body (``execute`` wraps it in a span)."""
         started = time.monotonic()
         generation = self.generation
         cached = self.cache.get(query, generation)
         if cached is not None:
             latency = time.monotonic() - started
             self._record(latency, cached=True, partial=False, pages=0)
+            if span is not None:
+                span.annotate(cache_hit=True, generation=generation,
+                              results=len(cached))
             return ServiceResponse(query, cached, True, generation, latency)
         deadline = Deadline.from_timeout(
             timeout if timeout is not None else self.default_timeout)
@@ -152,6 +180,9 @@ class QueryEngine:
             latency = time.monotonic() - started
             self.metrics.counter("degraded_results_total").increment()
             self._record(latency, cached=False, partial=True, pages=0)
+            if span is not None:
+                span.annotate(cache_hit=False, degraded=True,
+                              failure_cause=str(exc))
             return ServiceResponse(
                 query, QueryResult([], partial=True), False, generation,
                 latency, stats, degraded=True, failure_cause=str(exc))
@@ -163,16 +194,31 @@ class QueryEngine:
         latency = time.monotonic() - started
         self._record(latency, cached=False, partial=result.partial,
                      pages=pages)
+        if span is not None:
+            span.annotate(cache_hit=False, generation=generation,
+                          results=len(result), partial=result.partial,
+                          pages_read=pages)
+            if not deadline.is_unbounded:
+                span.annotate(
+                    deadline_slack_seconds=deadline.remaining())
         return ServiceResponse(query, result, False, generation, latency,
                                stats)
 
     def submit(self, query: DirectionalQuery,
                timeout: Optional[float] = None,
                ) -> "Future[ServiceResponse]":
-        """Queue one query on the worker pool; returns its future."""
+        """Queue one query on the worker pool; returns its future.
+
+        With a tracer active at submit time the worker-side execution runs
+        under the *submitter's* trace context: an ``engine.worker`` span
+        (annotated with ``queue_wait_seconds`` — time spent in the pool's
+        queue) parents the usual ``engine.execute`` span even though the
+        work runs on another thread.
+        """
         if self._closed:
             raise RuntimeError("engine is closed")
-        return self._executor.submit(self.execute, query, timeout)
+        call = traced("engine.worker", self.execute, record_queue_wait=True)
+        return self._executor.submit(call, query, timeout)
 
     def submit_batch(self, queries: Sequence[DirectionalQuery],
                      timeout: Optional[float] = None,

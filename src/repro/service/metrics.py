@@ -42,6 +42,7 @@ class Counter:
         self._lock = threading.Lock()
 
     def increment(self, by: int = 1) -> None:
+        """Add ``by`` (non-negative) to the counter."""
         if by < 0:
             raise ValueError(f"counters only go up; got increment {by}")
         with self._lock:
@@ -49,6 +50,7 @@ class Counter:
 
     @property
     def value(self) -> int:
+        """Current count."""
         with self._lock:
             return self._value
 
@@ -75,6 +77,7 @@ class Histogram:
         self._lock = threading.Lock()
 
     def observe(self, value: float) -> None:
+        """Record one sample."""
         idx = bisect.bisect_left(self._bounds, value)
         with self._lock:
             self._counts[idx] += 1
@@ -89,11 +92,13 @@ class Histogram:
 
     @property
     def count(self) -> int:
+        """Number of samples observed."""
         with self._lock:
             return self._count
 
     @property
     def mean(self) -> float:
+        """Arithmetic mean of the samples (0.0 when empty)."""
         with self._lock:
             return self._sum / self._count if self._count else 0.0
 
@@ -169,6 +174,7 @@ class MetricsRegistry:
 
     @property
     def uptime_seconds(self) -> float:
+        """Seconds since this registry was created."""
         return time.monotonic() - self._started
 
     def to_dict(self) -> Dict[str, object]:

@@ -47,6 +47,7 @@ class WorkloadReport:
 
     @property
     def cache_hit_rate(self) -> float:
+        """Fraction of cache lookups that hit."""
         return self.cache_hits / max(self.cache_lookups, 1)
 
     def summary(self) -> str:

@@ -34,9 +34,11 @@ from __future__ import annotations
 
 import os
 import struct
+import time
 import zlib
 from typing import Callable, Iterator, List, Optional, Tuple
 
+from ..trace.spans import current_tracer
 from .stats import IOStats
 
 #: Record CRC.  Page frames use CRC32C (:mod:`repro.storage.checksum`);
@@ -130,6 +132,8 @@ class WriteAheadLog:
         lifetime.  Durable once the containing segment is synced."""
         if not 0 < rectype < 256:
             raise ValueError(f"rectype must fit one byte: {rectype}")
+        tracer = current_tracer()
+        tick = time.perf_counter() if tracer is not None else 0.0
         self._fire("append.header")
         crc = _record_crc(payload, rectype)
         header = _RECORD_HEADER.pack(rectype, len(payload), crc)
@@ -154,17 +158,28 @@ class WriteAheadLog:
             self.sync()
         if self._file.tell() >= self.segment_bytes:
             self._rotate()
+        if tracer is not None:
+            tracer.record(
+                "wal.append", seconds=time.perf_counter() - tick,
+                bytes=_RECORD_HEADER.size + len(payload))
         return self.appended - 1
 
     def sync(self) -> None:
         """Force appended records to stable storage (counted in stats)."""
         if self._unsynced == 0:
             return
+        tracer = current_tracer()
+        tick = time.perf_counter() if tracer is not None else 0.0
         self._fire("sync")
         self._file.flush()
         os.fsync(self._file.fileno())
         self.stats.record_fsync()
+        records = self._unsynced
         self._unsynced = 0
+        if tracer is not None:
+            tracer.record("wal.fsync",
+                          seconds=time.perf_counter() - tick,
+                          records=records)
 
     def _rotate(self) -> None:
         self.sync()

@@ -229,6 +229,74 @@ class TestScrub:
         assert "not a directory" in capsys.readouterr().err
 
 
+class TestExplain:
+    def test_reconciles_and_renders(self, csv_path, capsys):
+        code = main(["explain", str(csv_path), "-x", "5000", "-y", "5000",
+                     "--alpha", "0", "--beta", "90",
+                     "--keywords", "restaurant", "-k", "3"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "reconciliation (OK)" in out
+        assert "desks.search" in out
+
+    def test_json_report(self, csv_path, tmp_path, capsys):
+        import json
+
+        report = tmp_path / "explain.json"
+        code = main(["explain", str(csv_path), "-x", "5000", "-y", "5000",
+                     "--keywords", "restaurant", "--mode", "D",
+                     "--json", str(report)])
+        assert code == 0
+        payload = json.loads(report.read_text())
+        assert payload["reconciled"] is True
+        assert payload["mode"] == "D"
+        assert payload["trace"]["spans"][0]["name"] == "desks.search"
+
+    def test_saved_index_target(self, csv_path, tmp_path, capsys):
+        index_dir = tmp_path / "idx"
+        assert main(["build", str(csv_path), str(index_dir)]) == 0
+        capsys.readouterr()
+        code = main(["explain", str(index_dir), "--index",
+                     "-x", "5000", "-y", "5000",
+                     "--keywords", "restaurant"])
+        assert code == 0
+        assert "pages_read" in capsys.readouterr().out
+
+
+class TestTrace:
+    def test_prints_span_tree(self, csv_path, capsys):
+        code = main(["trace", str(csv_path), "-x", "5000", "-y", "5000",
+                     "--alpha", "0", "--beta", "90",
+                     "--keywords", "restaurant", "-k", "3"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "desks.search" in out
+        assert "desks.band" in out
+
+    def test_engine_mode_wraps_search(self, csv_path, capsys):
+        code = main(["trace", str(csv_path), "--engine",
+                     "-x", "5000", "-y", "5000",
+                     "--keywords", "restaurant"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "engine.worker" in out
+        assert "engine.execute" in out
+        assert "desks.search" in out
+
+    def test_json_export(self, csv_path, tmp_path, capsys):
+        import json
+
+        trace_path = tmp_path / "trace.json"
+        code = main(["trace", str(csv_path), "-x", "5000", "-y", "5000",
+                     "--keywords", "restaurant", "--json", str(trace_path)])
+        assert code == 0
+        payload = json.loads(trace_path.read_text())
+        spans = payload["spans"]
+        assert spans[0]["name"] == "desks.search"
+        names = {child["name"] for child in spans[0]["children"]}
+        assert "desks.prepare" in names
+
+
 class TestChaosBench:
     def test_small_run_passes_and_writes_json(self, tmp_path, capsys):
         import json
