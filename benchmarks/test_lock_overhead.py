@@ -1,0 +1,168 @@
+"""Lock-order tracking must be free when nobody is looking.
+
+:func:`repro.analysis.make_lock` hands out plain ``threading`` locks
+unless tracking is enabled — the check happens once at lock *creation*,
+so the disabled path has literally zero per-acquire cost.  This
+benchmark holds that claim to the same standard as the tracing one
+(``test_trace_overhead.py``): the *shipped* build (locks created through
+``make_lock``, tracking off) runs the serving workload against a
+*stripped* build whose locks were created by raw ``threading``
+constructors — i.e. as if the factory had never been written.
+
+Shared-machine noise between two long timing blocks easily exceeds the
+effect being measured, so the variants alternate in short passes within
+each round (drift hits both sides equally) and the gate takes the best
+round per side.
+
+A third, *tracked* engine (built with the detector enabled) runs in the
+same interleave.  Its overhead is reported but not gated — tracking is a
+diagnostic mode — and its lock-order report must come back clean, which
+doubles as an end-to-end check of the detector on the real serving
+stack.
+
+Acceptance: shipped QPS within 2% of stripped QPS.
+"""
+
+import math
+import threading
+
+from repro.analysis import LockTracker, disable_lock_tracking, \
+    enable_lock_tracking
+from repro.bench import (
+    format_series_table,
+    generate_queries,
+    repeated_stream,
+    write_json_result,
+    write_result,
+)
+from repro.core import MutableDesksIndex
+import repro.core.dynamic as dynamic_mod
+from repro.service import QueryEngine, run_closed_loop
+import repro.service.cache as cache_mod
+import repro.service.engine as engine_mod
+import repro.service.metrics as metrics_mod
+
+from conftest import bench_bands, bench_wedges
+
+WIDTH = math.pi / 3
+ROUNDS = 5
+INTERLEAVES = 6          # shipped/stripped/tracked alternations per round
+REQUESTS = 200           # per client per alternation
+CLIENTS = 4
+MAX_OVERHEAD_PCT = 2.0
+
+#: Every module that creates locks through the factory.
+INSTRUMENTED = (dynamic_mod, cache_mod, engine_mod, metrics_mod)
+
+
+def _raw_make_lock(name, *, reentrant=False):
+    """What the instrumented modules would do if make_lock never existed."""
+    return threading.RLock() if reentrant else threading.Lock()
+
+
+def _build_engine(collection, bands, wedges, base):
+    index = MutableDesksIndex(collection, num_bands=bands,
+                              num_wedges=wedges)
+    engine = QueryEngine(index, num_workers=8)
+    for query in base:  # warm the cache once, like the QPS bench
+        engine.execute(query)
+    return engine
+
+
+def _engine_seconds(engine, stream):
+    report = run_closed_loop(engine, stream, CLIENTS,
+                             requests_per_client=REQUESTS, think_time=0.0)
+    assert report.errors == 0, report.first_error
+    return CLIENTS * REQUESTS / report.qps
+
+
+def test_disabled_lock_tracking_costs_under_two_percent(
+        datasets, monkeypatch):
+    collection = datasets["VA"]
+    bands = bench_bands(len(collection))
+    wedges = bench_wedges(len(collection), bands)
+    base = generate_queries(collection, 25, 2, WIDTH, k=10, seed=61)
+    stream = repeated_stream(base, repeats=4, seed=61)
+
+    # Stripped: factory bypassed entirely at construction time.
+    with monkeypatch.context() as patcher:
+        for mod in INSTRUMENTED:
+            patcher.setattr(mod, "make_lock", _raw_make_lock)
+        stripped = _build_engine(collection, bands, wedges, base)
+    # Shipped: the default build — make_lock with tracking off.
+    shipped = _build_engine(collection, bands, wedges, base)
+    # Tracked: detector on for every lock created during construction.
+    tracker = LockTracker()
+    enable_lock_tracking(tracker)
+    try:
+        tracked = _build_engine(collection, bands, wedges, base)
+    finally:
+        disable_lock_tracking()
+
+    qps = {"shipped": [], "stripped": [], "tracked": []}
+    try:
+        _engine_seconds(shipped, stream)    # warmup, discarded
+        _engine_seconds(stripped, stream)
+        _engine_seconds(tracked, stream)
+        for _ in range(ROUNDS):
+            seconds = {"shipped": 0.0, "stripped": 0.0, "tracked": 0.0}
+            for _ in range(INTERLEAVES):
+                seconds["shipped"] += _engine_seconds(shipped, stream)
+                seconds["stripped"] += _engine_seconds(stripped, stream)
+                seconds["tracked"] += _engine_seconds(tracked, stream)
+            requests = INTERLEAVES * CLIENTS * REQUESTS
+            for variant, total in seconds.items():
+                qps[variant].append(requests / total)
+    finally:
+        shipped.close()
+        stripped.close()
+        tracked.close()
+
+    def overhead_pct(variant):
+        return 100.0 * (1.0 - max(qps[variant]) / max(qps["stripped"]))
+
+    shipped_overhead = overhead_pct("shipped")
+    tracked_overhead = overhead_pct("tracked")
+    report = tracker.report()
+
+    table = format_series_table(
+        "Lock-tracking overhead (VA): shipped vs stripped vs tracked, "
+        f"best of {ROUNDS} rounds x {INTERLEAVES} alternations",
+        "variant", ["best qps", "overhead %"],
+        {"stripped (raw locks)": [max(qps["stripped"]), 0.0],
+         "shipped (tracking off)": [max(qps["shipped"]), shipped_overhead],
+         "tracked (tracking on)": [max(qps["tracked"]), tracked_overhead]},
+        unit="qps")
+    print()
+    print(table)
+    print(report.render())
+    write_result("lock_overhead", table + "\n\n" + report.render())
+    write_json_result("BENCH_analysis", {
+        "dataset": "VA",
+        "num_pois": len(collection),
+        "clients": CLIENTS,
+        "requests_per_alternation": REQUESTS,
+        "rounds": ROUNDS,
+        "interleaves": INTERLEAVES,
+        "max_overhead_pct": MAX_OVERHEAD_PCT,
+        "shipped_qps": qps["shipped"],
+        "stripped_qps": qps["stripped"],
+        "tracked_qps": qps["tracked"],
+        "best_shipped_qps": max(qps["shipped"]),
+        "best_stripped_qps": max(qps["stripped"]),
+        "best_tracked_qps": max(qps["tracked"]),
+        "shipped_overhead_pct": shipped_overhead,
+        "tracked_overhead_pct": tracked_overhead,
+        "tracked_report": {
+            "acquisitions": report.acquisitions,
+            "edges": [edge.to_dict() for edge in report.edges],
+            "cycles": report.cycles,
+            "inversions": [list(pair) for pair in report.inversions],
+            "clean": report.clean,
+        },
+    })
+
+    assert report.clean, report.render()
+    assert shipped_overhead <= MAX_OVERHEAD_PCT, (
+        f"disabled lock tracking costs {shipped_overhead:.2f}% engine QPS "
+        f"(limit {MAX_OVERHEAD_PCT}%)")

@@ -1,0 +1,56 @@
+"""Static analysis + runtime race detection for the DESKS codebase.
+
+Three layers (see ``docs/ANALYSIS.md``):
+
+* :class:`LintEngine` + the ``DALxxx`` rule catalog — an AST linter for
+  the *project's own* invariants (angle arithmetic confined to
+  :mod:`repro.geometry`, WAL-before-apply, buffer-pool-only page I/O,
+  deterministic search/recovery);
+* :func:`make_lock` / :class:`TrackedLock` / :class:`LockTracker` — a
+  runtime lock-order race detector for the six concurrent modules,
+  zero-cost when disabled;
+* the ``repro lint`` CLI subcommand and CI wiring that keep ``src/``
+  clean.
+"""
+
+from .engine import (
+    Finding,
+    LintEngine,
+    LintReport,
+    ModuleContext,
+    RuleVisitor,
+)
+from .locks import (
+    ENV_FLAG,
+    LockEdge,
+    LockOrderReport,
+    LockTracker,
+    TrackedLock,
+    disable_lock_tracking,
+    enable_lock_tracking,
+    get_lock_tracker,
+    lock_tracking_enabled,
+    make_lock,
+)
+from .rules import ALL_RULES, RULE_INDEX, rule_catalog
+
+__all__ = [
+    "ALL_RULES",
+    "ENV_FLAG",
+    "Finding",
+    "LintEngine",
+    "LintReport",
+    "LockEdge",
+    "LockOrderReport",
+    "LockTracker",
+    "ModuleContext",
+    "RULE_INDEX",
+    "RuleVisitor",
+    "TrackedLock",
+    "disable_lock_tracking",
+    "enable_lock_tracking",
+    "get_lock_tracker",
+    "lock_tracking_enabled",
+    "make_lock",
+    "rule_catalog",
+]

@@ -221,6 +221,20 @@ def build_parser() -> argparse.ArgumentParser:
                          default="batch", help="WAL sync policy")
     p_chaos.add_argument("--json", metavar="PATH", default=None,
                          help="write the full report to PATH as JSON")
+
+    p_lint = sub.add_parser(
+        "lint", help="run the project-invariant analyzer (DAL rules)")
+    p_lint.add_argument("targets", nargs="+",
+                        help="files or directories to lint (e.g. src/)")
+    p_lint.add_argument("--json", metavar="PATH", default=None,
+                        help="write the full report to PATH as JSON "
+                             "('-' for stdout)")
+    p_lint.add_argument("--rules", metavar="CODES", default=None,
+                        help="comma-separated DAL codes to run "
+                             "(default: all)")
+    p_lint.add_argument("--show-suppressed", action="store_true",
+                        help="also print findings silenced by "
+                             "'desks: noqa-DALxxx' comments")
     return parser
 
 
@@ -317,7 +331,7 @@ def _cmd_query(args: argparse.Namespace) -> int:
         poi = collection[entry.poi_id]
         bearing = (math.degrees(
             query.location.direction_to(poi.location))
-            if poi.location != query.location else 0.0)
+            if not poi.location.coincides(query.location) else 0.0)
         print(f"{rank:3}. poi#{entry.poi_id:<8} dist={entry.distance:10.2f}"
               f"  bearing={bearing:6.1f} deg  "
               f"{' '.join(sorted(poi.keywords)[:6])}")
@@ -353,9 +367,9 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     if args.engine:
         from .service import QueryEngine
 
-        with QueryEngine(index, mode=PruningMode[args.mode]) as engine:
-            with tracer.activate():
-                engine.submit(query).result()
+        with QueryEngine(index, mode=PruningMode[args.mode]) as engine, \
+                tracer.activate():
+            engine.submit(query).result()
     else:
         searcher = DesksSearcher(index)
         with tracer.activate():
@@ -600,6 +614,36 @@ def _cmd_chaos_bench(args: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from .analysis import RULE_INDEX, LintEngine
+
+    if args.rules:
+        codes = [c.strip().upper() for c in args.rules.split(",") if c.strip()]
+        unknown = [c for c in codes if c not in RULE_INDEX]
+        if unknown:
+            known = ", ".join(sorted(RULE_INDEX))
+            raise ValueError(
+                f"unknown rule code(s) {', '.join(unknown)}; known: {known}")
+        engine = LintEngine([RULE_INDEX[c] for c in codes])
+    else:
+        engine = LintEngine()
+    report = engine.check(args.targets)
+    if args.json == "-":
+        print(report.to_json())
+    else:
+        print(report.render())
+        if args.show_suppressed and report.suppressed:
+            print("suppressed:")
+            for finding in report.suppressed:
+                print("  " + finding.render())
+        if args.json:
+            with open(args.json, "w", encoding="utf-8") as handle:
+                handle.write(report.to_json())
+                handle.write("\n")
+            print(f"wrote lint report to {args.json}")
+    return 0 if report.clean else 1
+
+
 _COMMANDS = {
     "generate": _cmd_generate,
     "stats": _cmd_stats,
@@ -612,6 +656,7 @@ _COMMANDS = {
     "cluster-bench": _cmd_cluster_bench,
     "scrub": _cmd_scrub,
     "chaos-bench": _cmd_chaos_bench,
+    "lint": _cmd_lint,
 }
 
 

@@ -152,7 +152,7 @@ def angular_assign(collection: POICollection,
 
     def angle_key(poi_id: int) -> Tuple[float, int]:
         location = collection.location(poi_id)
-        if location == centroid:
+        if location.coincides(centroid):
             return (0.0, poi_id)  # the centroid itself has no direction
         return (centroid.direction_to(location), poi_id)
 

@@ -22,11 +22,11 @@ the router's ``fault_injector`` argument.
 from __future__ import annotations
 
 import random
-import threading
 import time
 from dataclasses import dataclass
 from typing import List, Optional, Tuple, Union
 
+from ..analysis import make_lock
 from ..core import DesksIndex, DirectionalQuery, MutableDesksIndex, PruningMode
 from ..service import MetricsRegistry, QueryEngine, ServiceResponse
 from ..storage import PageCorruptionError
@@ -79,7 +79,7 @@ class FaultInjector:
     def __init__(self, seed: int = 0) -> None:
         self._rules: dict = {}
         self._rng = random.Random(seed)
-        self._lock = threading.Lock()
+        self._lock = make_lock("cluster.fault_injector")
         self.injected_faults = 0
 
     def set_fault(self, shard_id: Optional[int] = None,
@@ -143,7 +143,7 @@ class Replica:
         #: operator scrubs/restores it and calls :meth:`release`.
         self.quarantined = False
         self.quarantine_cause: Optional[str] = None
-        self._lock = threading.Lock()
+        self._lock = make_lock("cluster.replica")
 
     def mark_success(self) -> None:
         """Record a successful request; an unhealthy replica recovers."""
@@ -207,7 +207,7 @@ class ReplicaSet:
             for replica_id in range(replication)
         ]
         self._rotation = 0
-        self._lock = threading.Lock()
+        self._lock = make_lock("cluster.replica_set")
 
     def __len__(self) -> int:
         return len(self.replicas)

@@ -31,9 +31,9 @@ exact) state.
 
 from __future__ import annotations
 
-import threading
 from typing import Callable, Iterable, List, Optional, Set
 
+from ..analysis import make_lock
 from ..datasets import POI, POICollection
 from ..storage import SearchStats
 from .index import DesksIndex
@@ -59,7 +59,7 @@ class MutableDesksIndex:
         self.rebuild_count = 0
         self._generation = 0
         self._listeners: List[Callable[[int], None]] = []
-        self._lock = threading.RLock()
+        self._lock = make_lock("core.mutable_index", reentrant=True)
         self._build(collection)
 
     def _build(self, collection: POICollection) -> None:
@@ -84,7 +84,7 @@ class MutableDesksIndex:
         instance.rebuild_count = 0
         instance._generation = 0
         instance._listeners = []
-        instance._lock = threading.RLock()
+        instance._lock = make_lock("core.mutable_index", reentrant=True)
         instance._index = index
         instance._searcher = DesksSearcher(index)
         return instance

@@ -21,7 +21,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional
 
-from ..geometry import ANGLE_EPS, TWO_PI, DirectionInterval
+from ..geometry import (ANGLE_EPS, TWO_PI, DirectionInterval,
+                        normalize_angle)
 from ..storage import SearchStats
 from .query import DirectionalQuery, QueryResult, ResultEntry
 from .search import DesksSearcher, PruningMode
@@ -190,7 +191,7 @@ class IncrementalSearcher:
     def _entry_in_interval(self, entry: ResultEntry, location,
                            interval: DirectionInterval) -> bool:
         poi_location = self.searcher.index.collection.location(entry.poi_id)
-        if poi_location == location:
+        if poi_location.coincides(location):
             return True
         return interval.contains(location.direction_to(poi_location))
 
@@ -202,7 +203,7 @@ def _widening_of(old: DirectionInterval, new: DirectionInterval):
         # Any interval widens to full; split the growth evenly.
         grow = TWO_PI - old.width
         return (grow / 2.0, grow / 2.0)
-    grow_lower = (old.lower - new.lower) % TWO_PI
+    grow_lower = normalize_angle(old.lower - new.lower)
     if grow_lower > TWO_PI - ANGLE_EPS:
         grow_lower = 0.0
     grow_upper = new.width - old.width - grow_lower

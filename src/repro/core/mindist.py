@@ -29,6 +29,8 @@ from ..geometry import (
     ray_circle_intersection,
     ray_ray_intersection,
     ray_rectangle_exit,
+    signed_angle,
+    signed_angle_of,
 )
 
 INF = math.inf
@@ -81,7 +83,7 @@ class BasicQueryGeometry:
     def __post_init__(self) -> None:
         self.qd = math.hypot(self.q.x, self.q.y)
         if self.qd > 0.0:
-            self.q_theta = math.atan2(self.q.y, self.q.x)
+            self.q_theta = signed_angle_of(self.q.x, self.q.y)
         else:
             # A query on the anchor has no direction; the midpoint keeps
             # every case formula consistent (all rays leave the origin).
@@ -111,10 +113,12 @@ class BasicQueryGeometry:
         hi = self.q_theta
         if self.theta_exit_beta is not None:
             hi = max(hi, self.theta_exit_beta)
-        if self.qd == 0.0:
+        if self.qd <= 0.0:
             # A query at the anchor corner: a POI co-located with it is an
             # answer regardless of direction, but its anchor angle is stored
-            # as the atan2(0, 0) = 0 convention — admit it.
+            # as the atan2(0, 0) = 0 convention — admit it.  (hypot is
+            # non-negative, so <= 0 is the exact-zero case without an
+            # exact float comparison.)
             lo = 0.0
         return (max(lo - TAU_SLACK, 0.0), min(hi + TAU_SLACK, HALF_PI))
 
@@ -156,7 +160,7 @@ class BasicQueryGeometry:
                 hi = max(hi, self.q_theta)
             else:
                 hi = region_hi
-        if self.qd == 0.0:
+        if self.qd <= 0.0:
             lo = 0.0  # anchor-resident POIs carry the theta = 0 convention
         return (max(lo - TAU_SLACK, 0.0), min(hi + TAU_SLACK, HALF_PI))
 
@@ -187,7 +191,7 @@ def _anchor_angle(p: Optional[Point]) -> Optional[float]:
     """Direction of ``p`` from the origin, ``None`` for the origin/missing."""
     if p is None or (p.x == 0.0 and p.y == 0.0):
         return None
-    return math.atan2(p.y, p.x)
+    return signed_angle_of(p.x, p.y)
 
 
 # -- Eq. 4: MINDIST(q, R_i) ------------------------------------------------------
@@ -291,15 +295,13 @@ def _corner_case(geo: BasicQueryGeometry, corner: Point, below, above,
     or above it (``> beta``) the nearest point slides along the matching
     query ray, computed by the ``below``/``above`` thunks.
     """
-    if corner == geo.q:
+    if corner.coincides(geo.q):
         return 0.0
-    direction = geo.q.direction_to(corner)
     # The corner can sit clockwise of the positive x-axis as seen from q
     # (its direction wraps into (3*pi/2, 2*pi)); compared raw against
     # alpha in [0, pi/2] that would masquerade as "above beta".  Signed
     # representation puts it below alpha, where it belongs.
-    if direction > math.pi:
-        direction -= 2.0 * math.pi
+    direction = signed_angle(geo.q.direction_to(corner))
     if direction < geo.alpha:
         return below()
     if direction > geo.beta:

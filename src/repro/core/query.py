@@ -92,7 +92,7 @@ class DirectionalQuery:
         """Full predicate check for one POI (used in verification/oracles)."""
         if not self.keywords_match(keywords):
             return False
-        if location == self.location:
+        if location.coincides(self.location):
             return True
         return self.accepts_direction(self.location.direction_to(location))
 

@@ -453,7 +453,7 @@ class DesksSearcher:
                 stats.pois_examined += 1
                 stats.distance_computations += 1
             poi_location = self._collection.location(poi_id)
-            if poi_location != location:
+            if not poi_location.coincides(location):
                 theta = location.direction_to(poi_location)
                 if not query.interval.contains(theta):
                     continue

@@ -14,6 +14,8 @@ from .angles import (
     interval_from_optional,
     normalize_angle,
     quadrant_of,
+    signed_angle,
+    signed_angle_of,
 )
 from .frames import Anchor, CanonicalFrame, frames_for
 from .intersections import (
@@ -53,4 +55,6 @@ __all__ = [
     "ray_circle_intersection",
     "ray_ray_intersection",
     "ray_rectangle_exit",
+    "signed_angle",
+    "signed_angle_of",
 ]

@@ -54,6 +54,37 @@ def angle_of(dx: float, dy: float) -> float:
     return normalize_angle(math.atan2(dy, dx))
 
 
+def signed_angle_of(dx: float, dy: float) -> float:
+    """Direction of ``(dx, dy)`` as a *signed* angle in ``(-pi, pi]``.
+
+    Some derivations (e.g. the mindist apex-angle cases) compare a
+    direction against bounds that live near zero; normalising into
+    ``[0, 2*pi)`` would fling a slightly-negative angle to just below
+    ``2*pi`` and break those comparisons.  This is the one sanctioned
+    signed ``atan2`` in the library — everything outside
+    ``repro.geometry`` must call it (or :func:`angle_of`) instead of
+    ``math.atan2`` directly (lint rule DAL001).
+
+    The zero vector has no direction; ``ValueError`` is raised for it.
+    """
+    if dx == 0.0 and dy == 0.0:
+        raise ValueError("the zero vector has no direction")
+    return math.atan2(dy, dx)
+
+
+def signed_angle(theta: float) -> float:
+    """Map ``theta`` (radians, any magnitude) into ``(-pi, pi]``.
+
+    The signed counterpart of :func:`normalize_angle`, for code that
+    reasons about deviations around a reference direction rather than
+    absolute positions on the circle.
+    """
+    theta = normalize_angle(theta)
+    if theta > math.pi:
+        theta -= TWO_PI
+    return theta
+
+
 def angle_between(theta: float, lower: float, upper: float) -> bool:
     """Return True if ``theta`` lies on the CCW arc from ``lower`` to ``upper``.
 
@@ -245,7 +276,7 @@ def _merge_quadrant_pieces(
     re-verified against the exact query interval) and keeps the per-quadrant
     machinery simple.
     """
-    by_quadrant: dict = {}
+    by_quadrant: dict[int, DirectionInterval] = {}
     order: List[int] = []
     for q, piece in pieces:
         if q not in by_quadrant:

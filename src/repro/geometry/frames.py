@@ -28,11 +28,14 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 from enum import Enum
-from typing import Tuple
+from typing import TYPE_CHECKING, Tuple
 
 from .angles import HALF_PI, TWO_PI, DirectionInterval, normalize_angle
 from .mbr import MBR
 from .point import Point
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    import numpy as np
 
 
 class Anchor(Enum):
@@ -95,7 +98,8 @@ class CanonicalFrame:
             return Point(self.mbr.max_x - p.x, self.mbr.max_y - p.y)
         return Point(p.x - self.mbr.min_x, self.mbr.max_y - p.y)
 
-    def to_canonical_xy(self, xs, ys):
+    def to_canonical_xy(self, xs: "np.ndarray", ys: "np.ndarray",
+                        ) -> Tuple["np.ndarray", "np.ndarray"]:
         """Vectorised :meth:`to_canonical` over coordinate arrays.
 
         Accepts and returns numpy arrays (or anything supporting

@@ -39,6 +39,20 @@ class Point:
         """
         return angle_of(other.x - self.x, other.y - self.y)
 
+    def coincides(self, other: "Point") -> bool:
+        """True when ``other`` occupies exactly the same coordinates.
+
+        This is the paper's "p = q" guard (no direction is defined
+        between coincident points) as a named predicate: comparing two
+        ``Point``s with raw ``==`` on floats is flagged by lint rule
+        DAL002 because at most call sites a tolerance is wanted — the
+        sanctioned exact test lives here, where the exactness is the
+        point (a POI *at* the query location has distance exactly 0
+        regardless of float noise, because both were built from the
+        same coordinates).
+        """
+        return self.x == other.x and self.y == other.y
+
     def translate(self, dx: float, dy: float) -> "Point":
         """A new point shifted by ``(dx, dy)``."""
         return Point(self.x + dx, self.y + dy)

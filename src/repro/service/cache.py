@@ -22,11 +22,11 @@ with a healthier budget must not inherit a degraded answer.
 
 from __future__ import annotations
 
-import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Hashable, Optional, Tuple
 
+from ..analysis import make_lock
 from ..core import DirectionalQuery, QueryResult
 
 
@@ -69,7 +69,7 @@ class ResultCache:
         # canonical key -> (generation, result); recency order, MRU last.
         self._entries: "OrderedDict[Hashable, Tuple[int, QueryResult]]" = \
             OrderedDict()
-        self._lock = threading.Lock()
+        self._lock = make_lock("service.result_cache")
         self._stats = CacheStats()
 
     # -- keying -------------------------------------------------------------

@@ -33,6 +33,7 @@ from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Dict, Hashable, List, Optional, Sequence, Union
 
+from ..analysis import make_lock
 from ..core import (
     DesksIndex,
     DesksSearcher,
@@ -121,6 +122,10 @@ class QueryEngine:
         self._executor = executor if executor is not None else \
             ThreadPoolExecutor(max_workers=num_workers,
                                thread_name_prefix="desks-worker")
+        # Serialises admission against close(): without it a submit that
+        # passes the _closed check can race close() and die inside the
+        # executor with a less actionable RuntimeError.
+        self._lifecycle_lock = make_lock("service.engine")
         self._closed = False
 
     # -- generation ---------------------------------------------------------
@@ -215,10 +220,12 @@ class QueryEngine:
         queue) parents the usual ``engine.execute`` span even though the
         work runs on another thread.
         """
-        if self._closed:
-            raise RuntimeError("engine is closed")
-        call = traced("engine.worker", self.execute, record_queue_wait=True)
-        return self._executor.submit(call, query, timeout)
+        with self._lifecycle_lock:
+            if self._closed:
+                raise RuntimeError("engine is closed")
+            call = traced("engine.worker", self.execute,
+                          record_queue_wait=True)
+            return self._executor.submit(call, query, timeout)
 
     def submit_batch(self, queries: Sequence[DirectionalQuery],
                      timeout: Optional[float] = None,
@@ -247,7 +254,10 @@ class QueryEngine:
 
     def close(self) -> None:
         """Stop accepting work; waits for in-flight queries (owned pool)."""
-        self._closed = True
+        with self._lifecycle_lock:
+            self._closed = True
+        # Shutdown happens outside the lock: with wait=True it blocks on
+        # in-flight queries, and nothing they take may be held across that.
         if self._owns_executor:
             self._executor.shutdown(wait=True)
 

@@ -17,8 +17,9 @@ from __future__ import annotations
 
 import bisect
 import math
-import threading
 import time
+
+from ..analysis import make_lock
 from typing import Dict, List, Optional, Sequence, Tuple
 
 #: Default latency buckets (seconds): 50 µs .. ~30 s, ~4 steps per decade.
@@ -39,7 +40,7 @@ class Counter:
     def __init__(self, name: str) -> None:
         self.name = name
         self._value = 0
-        self._lock = threading.Lock()
+        self._lock = make_lock("service.metrics.counter")
 
     def increment(self, by: int = 1) -> None:
         """Add ``by`` (non-negative) to the counter."""
@@ -74,7 +75,7 @@ class Histogram:
         self._sum = 0.0
         self._min = math.inf
         self._max = -math.inf
-        self._lock = threading.Lock()
+        self._lock = make_lock("service.metrics.histogram")
 
     def observe(self, value: float) -> None:
         """Record one sample."""
@@ -150,7 +151,7 @@ class MetricsRegistry:
     def __init__(self) -> None:
         self._counters: Dict[str, Counter] = {}
         self._histograms: Dict[str, Histogram] = {}
-        self._lock = threading.Lock()
+        self._lock = make_lock("service.metrics.registry")
         self._started = time.monotonic()
 
     def counter(self, name: str) -> Counter:

@@ -11,9 +11,20 @@ uncontended lock acquire per page access.
 
 from __future__ import annotations
 
-import threading
 from collections import OrderedDict
+from dataclasses import dataclass
+
+from ..analysis import make_lock
 from .pages import PageStore
+from .stats import IOStats
+
+
+@dataclass
+class _Frame:
+    """One resident page: its bytes and whether they are unflushed."""
+
+    data: bytes
+    dirty: bool
 
 
 class BufferPool:
@@ -24,16 +35,16 @@ class BufferPool:
             raise ValueError(f"buffer capacity must be positive: {capacity}")
         self._store = store
         self.capacity = capacity
-        # page_id -> (data, dirty); ordered by recency, most recent last.
-        self._frames: "OrderedDict[int, list]" = OrderedDict()
+        # page_id -> frame; ordered by recency, most recent last.
+        self._frames: "OrderedDict[int, _Frame]" = OrderedDict()
         # Guards frames, eviction, and the shared I/O counters.  RLock so
         # close() may call flush() without re-entrancy gymnastics.
-        self._lock = threading.RLock()
+        self._lock = make_lock("storage.buffer_pool", reentrant=True)
 
     # -- metrics ------------------------------------------------------------
 
     @property
-    def stats(self):
+    def stats(self) -> IOStats:
         """The underlying store's I/O stats (hits are recorded there too)."""
         return self._store.stats
 
@@ -70,7 +81,7 @@ class BufferPool:
             if frame is not None:
                 self._frames.move_to_end(page_id)
                 self.stats.record_read(hit=True)
-                return frame[0]
+                return frame.data
             data = self._store.read_page(page_id)
             self._insert(page_id, data, dirty=False)
             return data
@@ -86,8 +97,8 @@ class BufferPool:
         with self._lock:
             frame = self._frames.get(page_id)
             if frame is not None:
-                frame[0] = data
-                frame[1] = True
+                frame.data = data
+                frame.dirty = True
                 self._frames.move_to_end(page_id)
             else:
                 self._insert(page_id, data, dirty=True)
@@ -96,9 +107,9 @@ class BufferPool:
         """Write every dirty resident page back to the store."""
         with self._lock:
             for page_id, frame in self._frames.items():
-                if frame[1]:
-                    self._store.write_page(page_id, frame[0])
-                    frame[1] = False
+                if frame.dirty:
+                    self._store.write_page(page_id, frame.data)
+                    frame.dirty = False
 
     def clear(self) -> None:
         """Flush and drop all resident pages (cold-cache reset)."""
@@ -118,12 +129,12 @@ class BufferPool:
         # Caller holds self._lock.
         while len(self._frames) >= self.capacity:
             evicted_id, evicted = self._frames.popitem(last=False)
-            if evicted[1]:
-                self._store.write_page(evicted_id, evicted[0])
-        self._frames[page_id] = [data, dirty]
+            if evicted.dirty:
+                self._store.write_page(evicted_id, evicted.data)
+        self._frames[page_id] = _Frame(data, dirty)
 
     def __enter__(self) -> "BufferPool":
         return self
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(self, *exc: object) -> None:
         self.close()

@@ -96,7 +96,7 @@ class PageStore:
     def __enter__(self) -> "PageStore":
         return self
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(self, *exc: object) -> None:
         self.close()
 
 
@@ -106,7 +106,7 @@ class InMemoryPageStore(PageStore):
     def __init__(self, page_size: int = PAGE_SIZE,
                  stats: Optional[IOStats] = None) -> None:
         super().__init__(page_size, stats)
-        self._pages: list = []
+        self._pages: List[bytes] = []
 
     @property
     def num_pages(self) -> int:
@@ -307,4 +307,5 @@ class ChecksummedPageStore(PageStore):
         return None, payload
 
     def _path(self) -> Optional[str]:
-        return getattr(self.inner, "path", None)
+        path = getattr(self.inner, "path", None)
+        return path if isinstance(path, str) else None

@@ -13,6 +13,7 @@ from dataclasses import dataclass
 
 from .buffer import BufferPool
 from .pages import PageStore
+from .stats import IOStats
 
 
 @dataclass(frozen=True)
@@ -39,7 +40,7 @@ class RecordFile:
         return self._pool.page_size
 
     @property
-    def stats(self):
+    def stats(self) -> IOStats:
         """I/O stats of the underlying store."""
         return self._pool.stats
 
@@ -121,5 +122,5 @@ class RecordFile:
     def __enter__(self) -> "RecordFile":
         return self
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(self, *exc: object) -> None:
         self.close()

@@ -36,7 +36,7 @@ import os
 import struct
 import time
 import zlib
-from typing import Callable, Iterator, List, Optional, Tuple
+from typing import BinaryIO, Callable, Iterator, List, Optional, Tuple
 
 from ..trace.spans import current_tracer
 from .stats import IOStats
@@ -112,7 +112,7 @@ class WriteAheadLog:
     def _segment_path(self, number: int) -> str:
         return os.path.join(self.directory, f"segment-{number:08d}.wal")
 
-    def _open_segment(self, number: int):
+    def _open_segment(self, number: int) -> BinaryIO:
         # Unbuffered only under a failpoint: crash simulation must see
         # exactly the bytes each write() emitted, nothing held by Python.
         buffering = 0 if self._failpoint is not None else -1
@@ -235,7 +235,7 @@ class WriteAheadLog:
     def __enter__(self) -> "WriteAheadLog":
         return self
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(self, *exc: object) -> None:
         self.close()
 
     # -- internals -----------------------------------------------------------

@@ -1,0 +1,200 @@
+"""Lock-order detector: inversions flagged, clean orders pass, zero-cost
+contract of the factory."""
+
+import threading
+
+import pytest
+
+from repro.analysis import (
+    LockTracker,
+    TrackedLock,
+    disable_lock_tracking,
+    enable_lock_tracking,
+    get_lock_tracker,
+    lock_tracking_enabled,
+    make_lock,
+)
+
+
+@pytest.fixture()
+def tracker():
+    t = enable_lock_tracking(LockTracker())
+    yield t
+    disable_lock_tracking()
+
+
+def locks(tracker, *names, reentrant=False):
+    return [TrackedLock(n, tracker, reentrant=reentrant) for n in names]
+
+
+class TestInversionDetection:
+    def test_deliberate_two_lock_inversion_is_flagged(self, tracker):
+        # The acceptance-criteria case: a -> b on one thread, b -> a on
+        # another.  Sequential execution (thread two starts after thread
+        # one finished) keeps the test deadlock-free while still writing
+        # both orders into the graph.
+        a, b = locks(tracker, "inv.a", "inv.b")
+
+        def forward():
+            with a:
+                with b:
+                    pass
+
+        def backward():
+            with b:
+                with a:
+                    pass
+
+        t1 = threading.Thread(target=forward)
+        t1.start()
+        t1.join()
+        t2 = threading.Thread(target=backward)
+        t2.start()
+        t2.join()
+
+        report = tracker.report()
+        assert not report.clean
+        assert report.inversions == [("inv.a", "inv.b")]
+        assert report.cycles == [["inv.a", "inv.b"]]
+        rendered = report.render()
+        assert "INVERSION: inv.a <-> inv.b" in rendered
+        assert "CYCLE: inv.a -> inv.b -> inv.a" in rendered
+        # The report points at code: each cycle edge carries the stack
+        # of its first acquisition.
+        assert "test_locks.py" in rendered
+
+    def test_three_lock_cycle_without_any_inversion(self, tracker):
+        a, b, c = locks(tracker, "cyc.a", "cyc.b", "cyc.c")
+        for first, second in ((a, b), (b, c), (c, a)):
+            with first:
+                with second:
+                    pass
+        report = tracker.report()
+        assert report.inversions == []  # no single pair reverses
+        assert report.cycles == [["cyc.a", "cyc.b", "cyc.c"]]
+        assert not report.clean
+
+    def test_consistent_order_is_clean(self, tracker):
+        a, b, c = locks(tracker, "ok.a", "ok.b", "ok.c")
+        for _ in range(3):
+            with a:
+                with b:
+                    with c:
+                        pass
+        report = tracker.report()
+        assert report.clean
+        assert {(e.src, e.dst) for e in report.edges} == {
+            ("ok.a", "ok.b"), ("ok.a", "ok.c"), ("ok.b", "ok.c")}
+        assert "no lock-order cycles detected" in report.render()
+
+    def test_edges_count_threads_and_acquisitions(self, tracker):
+        a, b = locks(tracker, "cnt.a", "cnt.b")
+
+        def nest():
+            with a:
+                with b:
+                    pass
+
+        threads = [threading.Thread(target=nest) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        (edge,) = tracker.report().edges
+        assert (edge.src, edge.dst) == ("cnt.a", "cnt.b")
+        assert edge.count == 4
+        assert len(edge.threads) >= 1  # distinct ids, possibly reused
+
+
+class TestReentrancy:
+    def test_rlock_reentry_is_not_an_edge(self, tracker):
+        a = TrackedLock("re.a", tracker, reentrant=True)
+        with a:
+            with a:  # same lock, same thread: depth bump, no self-edge
+                pass
+        assert tracker.report().edges == []
+
+    def test_same_role_two_instances_no_self_edge(self, tracker):
+        # Two BufferPool instances share the role name; nesting them is
+        # not an ordering fact about the role relative to itself.
+        a1 = TrackedLock("pool", tracker, reentrant=True)
+        a2 = TrackedLock("pool", tracker, reentrant=True)
+        with a1:
+            with a2:
+                pass
+        assert tracker.report().edges == []
+
+    def test_release_order_restores_stack(self, tracker):
+        a, b = locks(tracker, "st.a", "st.b")
+        a.acquire()
+        b.acquire()
+        b.release()
+        b.acquire()  # re-acquire after release: still just a -> b
+        b.release()
+        a.release()
+        report = tracker.report()
+        assert [(e.src, e.dst, e.count) for e in report.edges] == [
+            ("st.a", "st.b", 2)]
+
+    def test_unmatched_release_is_ignored(self, tracker):
+        a = TrackedLock("um.a", tracker)
+        a._inner.acquire()  # taken behind the tracker's back
+        a.release()  # must not raise or corrupt the thread stack
+        assert tracker.report().edges == []
+
+
+class TestFactorySwitch:
+    def test_off_by_default_returns_raw_locks(self):
+        assert not lock_tracking_enabled()
+        assert get_lock_tracker() is None
+        lock = make_lock("raw.plain")
+        rlock = make_lock("raw.re", reentrant=True)
+        # The production objects, not wrappers: zero per-acquire cost.
+        assert type(lock) is type(threading.Lock())
+        assert type(rlock) is type(threading.RLock())
+
+    def test_enabled_returns_tracked_locks(self, tracker):
+        lock = make_lock("tracked.plain")
+        assert isinstance(lock, TrackedLock)
+        assert lock.name == "tracked.plain"
+        with lock:
+            pass
+        assert tracker.report().acquisitions == 1
+
+    def test_enable_is_idempotent(self, tracker):
+        assert enable_lock_tracking() is tracker
+        fresh = LockTracker()
+        assert enable_lock_tracking(fresh) is fresh
+        assert get_lock_tracker() is fresh
+
+    def test_tracked_lock_supports_nonblocking_acquire(self, tracker):
+        lock = make_lock("nb.lock")
+        assert lock.acquire(False)
+        try:
+            got = []
+            t = threading.Thread(
+                target=lambda: got.append(lock.acquire(False)))
+            t.start()
+            t.join()
+            assert got == [False]  # contended: failed acquire recorded? no
+        finally:
+            lock.release()
+        # The failed non-blocking acquire must not have polluted the
+        # other thread's held-stack.
+        assert tracker.report().edges == []
+
+    def test_env_flag_enables_at_import(self):
+        import subprocess
+        import sys
+        code = ("import repro.analysis as a; "
+                "print(a.lock_tracking_enabled())")
+        out = subprocess.run(
+            [sys.executable, "-c", code],
+            env={"PYTHONPATH": "src", "DESKS_LOCK_TRACKING": "1"},
+            capture_output=True, text=True, check=True)
+        assert out.stdout.strip() == "True"
+        out = subprocess.run(
+            [sys.executable, "-c", code],
+            env={"PYTHONPATH": "src", "DESKS_LOCK_TRACKING": "0"},
+            capture_output=True, text=True, check=True)
+        assert out.stdout.strip() == "False"

@@ -106,7 +106,7 @@ class TestIncreaseDirection:
         q = DirectionalQuery.make(50, 50, 1.0, 1.2, ["cafe"], 8)
         inc.initial_search(q)
         interval = q.interval
-        for step in range(6):
+        for _step in range(6):
             interval = interval.widen(0.15, 0.25)
             got = inc.increase_direction(interval)
             expect = brute_force_search(col, q.with_interval(interval))

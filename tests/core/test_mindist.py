@@ -180,7 +180,7 @@ class TestBandMindist:
         bound = band_mindist(g, inner, outer)
         interval = DirectionInterval(alpha, beta)
         q = Point(qx, qy)
-        for p, r, theta in sample_band_points(inner, outer):
+        for p, _r, _theta in sample_band_points(inner, outer):
             if p == q:
                 continue
             if interval.contains(q.direction_to(p)):
@@ -221,7 +221,7 @@ class TestSubregionMindist:
         bound = subregion_mindist(g, inner, outer, theta_lo, theta_hi)
         interval = DirectionInterval(alpha, beta)
         q = Point(qx, qy)
-        for p, r, theta in sample_band_points(inner, outer):
+        for p, _r, theta in sample_band_points(inner, outer):
             if p == q or not (theta_lo <= theta <= theta_hi):
                 continue
             if interval.contains(q.direction_to(p)):

@@ -63,7 +63,7 @@ class TestStaticServing:
             futures = engine.submit_batch(batch)
             assert len(futures) == len(batch)
             # Duplicates share the same future object.
-            for i, query in enumerate(queries):
+            for i, _query in enumerate(queries):
                 assert futures[i] is futures[len(queries) + i]
             assert futures[-1] is futures[0]
             responses = [f.result(timeout=30) for f in futures]
