@@ -1,11 +1,16 @@
 """Sharded scatter-gather acceptance (beyond the paper).
 
-Two acceptance checks over the PR-2 cluster layer on the VA preset:
+Acceptance checks over the PR-2 cluster layer on the VA preset:
 
 * **Exactness** — on a randomized workload (200+ queries covering every
   partitioner and S in {1, 2, 4, 8}) the sharded deployment returns
   *exactly* the unsharded searcher's answers, including tie-breaking, and
   keeps doing so with R=2 while one replica position is hard-failed.
+* **Exactness over the wire** (``-m network``) — the same contract with
+  every shard behind a real server *process* and the router speaking the
+  :mod:`repro.net` socket protocol: 240+ queries across every
+  partitioner, and an R=2 run where one replica is SIGKILLed mid-stream
+  (a real OS process dying, not an injected fault).
 * **Direction-aware pruning** — under the spatial grid partitioner the
   shard-pruning rate grows monotonically as the query direction interval
   narrows from 2*pi to pi/8: the cluster-level payoff of the paper's
@@ -15,6 +20,8 @@ Two acceptance checks over the PR-2 cluster layer on the VA preset:
 
 import math
 
+import pytest
+
 from repro.bench import (
     format_series_table,
     generate_queries,
@@ -23,6 +30,7 @@ from repro.bench import (
 )
 from repro.cluster import PARTITIONERS, FaultInjector, ShardRouter
 from repro.core import DesksIndex, DesksSearcher
+from repro.net import ClusterLauncher, connect_router
 
 from conftest import bench_bands, bench_wedges
 
@@ -82,6 +90,84 @@ def test_exact_under_single_replica_failure(datasets):
             retries += got.replica_retries
             assert _entries(got.result) == _entries(reference.search(query))
     assert retries > 0  # the failures really happened and were absorbed
+
+
+@pytest.mark.network
+def test_socket_sharded_equals_unsharded_randomized(datasets,
+                                                    tmp_path_factory):
+    """240 queries, every partitioner, shards as real server processes."""
+    collection = datasets["VA"]
+    reference = _reference(collection)
+    total = mismatches = 0
+    for partitioner in sorted(PARTITIONERS):
+        for num_shards in (2, 4):
+            deploy = str(tmp_path_factory.mktemp(
+                f"net-{partitioner}") / "deploy")
+            with ShardRouter(collection, num_shards=num_shards,
+                             partitioner=partitioner) as builder:
+                builder.save(deploy)
+            queries = generate_queries(
+                collection, 40, 2, direction_width=math.pi / 2, k=10,
+                seed=600 + num_shards)
+            with ClusterLauncher(deploy, replication=1,
+                                 num_workers=2) as launcher:
+                addresses = launcher.start()
+                router = connect_router(deploy, addresses, num_workers=4)
+                try:
+                    for query in queries:
+                        total += 1
+                        got = router.execute(query)
+                        assert not got.degraded
+                        if _entries(got.result) != \
+                                _entries(reference.search(query)):
+                            mismatches += 1
+                finally:
+                    router.close()
+    assert total >= 240
+    assert mismatches == 0
+
+
+@pytest.mark.network
+def test_socket_exact_while_killing_a_real_replica(datasets,
+                                                   tmp_path_factory):
+    """R=2 over processes; SIGKILL one replica mid-stream: still exact."""
+    collection = datasets["VA"]
+    reference = _reference(collection)
+    deploy = str(tmp_path_factory.mktemp("net-kill") / "deploy")
+    with ShardRouter(collection, num_shards=2,
+                     partitioner="grid") as builder:
+        builder.save(deploy)
+    queries = generate_queries(collection, 60, 2,
+                               direction_width=math.pi / 2, k=10, seed=78)
+    with ClusterLauncher(deploy, replication=2,
+                         num_workers=2) as launcher:
+        launcher.start()
+        router = connect_router(deploy, launcher.addresses(),
+                                num_workers=4)
+        try:
+            for query in queries[:20]:
+                got = router.execute(query)
+                assert not got.degraded
+                assert _entries(got.result) == \
+                    _entries(reference.search(query))
+
+            dead = launcher.kill(0, replica_id=0)  # a real SIGKILL
+            assert not dead.alive
+            assert (0, 0) not in launcher.alive()
+
+            for query in queries[20:]:
+                got = router.execute(query)
+                assert not got.degraded, got.failed_shards
+                assert _entries(got.result) == \
+                    _entries(reference.search(query))
+
+            # The failover really happened: the dead replica's client
+            # recorded failures while the answers stayed exact.
+            summary = router.shards[0].transport.health_summary()
+            assert any(row["total_failures"] > 0 for row in summary), \
+                summary
+        finally:
+            router.close()
 
 
 def test_pruning_rate_grows_as_direction_narrows(datasets):

@@ -334,6 +334,43 @@ class NondeterminismRule(RuleVisitor):
         self.generic_visit(node)
 
 
+class TransportRule(RuleVisitor):
+    """DAL007: raw socket/asyncio transport outside :mod:`repro.net`."""
+
+    code = "DAL007"
+    summary = "socket/asyncio imported outside repro.net"
+    rationale = (
+        "repro.net is the network boundary: framing, CRCs, deadline "
+        "budgets, admission control, and reconnect live there and "
+        "nowhere else.  A socket opened (or an event loop spun up) in "
+        "another layer bypasses the wire format's corruption checks and "
+        "the overload shedding, and makes that layer untestable without "
+        "a network.  Depend on RemoteShardClient / ShardTransport "
+        "instead; if a new transport primitive is genuinely needed, it "
+        "belongs in repro/net.")
+
+    #: Modules whose import marks code as doing raw network transport.
+    TRANSPORT_MODULES = {"socket", "asyncio", "socketserver", "selectors",
+                         "ssl"}
+
+    def _check(self, node: ast.AST, module: Optional[str]) -> None:
+        root = (module or "").split(".")[0]
+        if root in self.TRANSPORT_MODULES:
+            self.emit(node, f"`{root}` imported outside repro.net; use "
+                            "repro.net's clients/transports instead")
+
+    def visit_Import(self, node: ast.Import) -> None:
+        if not self.ctx.in_package("net"):
+            for alias in node.names:
+                self._check(node, alias.name)
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if not self.ctx.in_package("net") and node.level == 0:
+            self._check(node, node.module)
+        self.generic_visit(node)
+
+
 #: Every rule, in code order.  The engine default; tests and the CLI use
 #: this list, and docs/ANALYSIS.md documents exactly these codes.
 ALL_RULES: Sequence[Type[RuleVisitor]] = (
@@ -343,6 +380,7 @@ ALL_RULES: Sequence[Type[RuleVisitor]] = (
     StrayFileWriteRule,
     BufferBypassRule,
     NondeterminismRule,
+    TransportRule,
 )
 
 #: code -> rule class, for documentation and the meta-test.

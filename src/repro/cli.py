@@ -33,6 +33,16 @@ Commands
     against the unsharded index, and report shard-pruning rates,
     latency, and (with replication and ``--fault-rate``) failover
     behaviour.
+``shard-server``
+    Serve one saved (or durable) shard's search/health/stats RPCs on a
+    TCP socket (:mod:`repro.net`); prints ``SHARD-SERVER READY host
+    port`` once accepting, which :class:`~repro.net.ClusterLauncher`
+    waits for.
+``serve``
+    Bring a whole saved deployment online: launch one ``shard-server``
+    process per (shard, replica), connect a remote
+    :class:`~repro.cluster.ShardRouter` over them, and serve clients
+    through the asyncio front door until interrupted.
 ``scrub``
     Verify a saved index, sharded deployment, or durable-index directory
     against its checksum manifests (and WAL, when present); exit 1 on
@@ -161,6 +171,10 @@ def build_parser() -> argparse.ArgumentParser:
                          help="POIs inserted between sweep steps "
                               "(exercises cache invalidation)")
     p_serve.add_argument("--seed", type=int, default=0)
+    p_serve.add_argument("--transport", choices=["inproc", "socket"],
+                         default="inproc",
+                         help="inproc: call the engine directly; socket: "
+                              "drive a ShardServer over the wire protocol")
     p_serve.add_argument("--metrics", action="store_true",
                          help="dump the full metrics registry at the end")
     p_serve.add_argument("--metrics-json", metavar="PATH", default=None,
@@ -193,11 +207,59 @@ def build_parser() -> argparse.ArgumentParser:
                            help="direction width in degrees")
     p_cluster.add_argument("-k", type=int, default=10)
     p_cluster.add_argument("--seed", type=int, default=0)
+    p_cluster.add_argument("--transport", choices=["inproc", "socket"],
+                           default="inproc",
+                           help="inproc: replicas on a shared thread "
+                                "pool; socket: one real shard-server "
+                                "process per (shard, replica)")
     p_cluster.add_argument("--no-verify", action="store_true",
                            help="skip the unsharded equivalence check")
     p_cluster.add_argument("--metrics-json", metavar="PATH", default=None,
                            help="write the cluster metrics snapshot "
                                 "(router + every shard/replica) to PATH")
+
+    p_shard = sub.add_parser(
+        "shard-server",
+        help="serve one saved/durable shard's RPCs on a TCP socket")
+    p_shard.add_argument("--directory", required=True,
+                         help="saved index or durable-index directory")
+    p_shard.add_argument("--host", default="127.0.0.1")
+    p_shard.add_argument("--port", type=int, default=0,
+                         help="0 picks an ephemeral port (announced on "
+                              "the READY line)")
+    p_shard.add_argument("--shard-id", type=int, default=0)
+    p_shard.add_argument("--workers", type=int, default=4,
+                         help="engine worker threads")
+    p_shard.add_argument("--max-inflight", type=int, default=None,
+                         help="admission limit before OVERLOAD "
+                              "(default: 2x workers)")
+    p_shard.add_argument("--cache", type=int, default=128,
+                         help="result-cache capacity (entries)")
+    p_shard.add_argument("--mode", choices=["R", "D", "RD"], default="RD")
+
+    p_net_serve = sub.add_parser(
+        "serve",
+        help="launch shard servers for a saved deployment and serve "
+             "clients through the asyncio front door")
+    p_net_serve.add_argument("deployment",
+                             help="sharded deployment directory "
+                                  "(ShardRouter.save output)")
+    p_net_serve.add_argument("--host", default="127.0.0.1")
+    p_net_serve.add_argument("--port", type=int, default=0,
+                             help="front-door port (0: ephemeral)")
+    p_net_serve.add_argument("--replicas", type=int, default=1,
+                             help="server processes per shard")
+    p_net_serve.add_argument("--workers", type=int, default=8,
+                             help="front-door worker threads")
+    p_net_serve.add_argument("--shard-workers", type=int, default=4,
+                             help="worker threads per shard server")
+    p_net_serve.add_argument("--max-inflight", type=int, default=64,
+                             help="front-door admission limit before "
+                                  "OVERLOAD")
+    p_net_serve.add_argument("--fanout", type=int, default=4,
+                             help="max shards dispatched per wave")
+    p_net_serve.add_argument("--timeout-ms", type=float, default=None,
+                             help="default per-query deadline")
 
     p_scrub = sub.add_parser(
         "scrub", help="verify a saved/durable directory's checksums")
@@ -422,6 +484,9 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
     index = MutableDesksIndex(collection)
     timeout = (args.timeout_ms / 1000.0
                if args.timeout_ms is not None else None)
+    if args.transport == "socket":
+        return _serve_bench_socket(args, index, stream, timeout,
+                                   len(collection), len(base))
     rng = random.Random(args.seed)
     mbr = collection.mbr
     with QueryEngine(index, num_workers=args.workers,
@@ -452,6 +517,49 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _serve_bench_socket(args: argparse.Namespace, index, stream,
+                        timeout: Optional[float], num_pois: int,
+                        num_queries: int) -> int:
+    """The serve-bench sweep over the wire protocol.
+
+    The server runs on a background thread of this process (same index,
+    same worker count) and every request crosses a real loopback socket
+    through :mod:`repro.net.protocol` — the measured delta against
+    ``--transport inproc`` is the framing + socket cost.
+    """
+    from .net import RemoteShardClient, ShardServer, run_network_closed_loop
+
+    if args.inserts:
+        print("error: --inserts requires --transport inproc (mutations "
+              "are not part of the wire protocol yet)", file=sys.stderr)
+        return 2
+    with ShardServer(index, num_workers=args.workers,
+                     cache_capacity=args.cache).start() as server, \
+            RemoteShardClient(server.address) as client:
+        print(f"{num_pois} POIs, {num_queries} distinct queries x "
+              f"{args.repeats} repeats, {args.requests} req/client, "
+              f"think={args.think_ms:.1f} ms, transport=socket "
+              f"via {server.address[0]}:{server.address[1]}")
+        for num_clients in args.clients:
+            report = run_network_closed_loop(
+                lambda query: client.search(query, budget=timeout),
+                stream, num_clients,
+                requests_per_client=args.requests,
+                think_time=args.think_ms / 1000.0)
+            print(report.summary())
+            if report.first_error:
+                print(f"  first error: {report.first_error}",
+                      file=sys.stderr)
+                return 1
+        if args.metrics:
+            print()
+            print(server.metrics.render())
+        if args.metrics_json:
+            _write_metrics_json(server.metrics.to_dict(),
+                                args.metrics_json)
+    return 0
+
+
 def _write_metrics_json(snapshot: dict, path: str) -> None:
     import json
 
@@ -475,41 +583,26 @@ def _cmd_cluster_bench(args: argparse.Namespace) -> int:
 
     injector = None
     if args.fault_rate > 0.0:
+        if args.transport == "socket":
+            print("error: --fault-rate requires --transport inproc (the "
+                  "socket transport's faults are real process kills; see "
+                  "the network benchmarks)", file=sys.stderr)
+            return 2
         injector = FaultInjector(seed=args.seed)
         injector.set_fault(replica_id=0, error_rate=args.fault_rate)
 
     print(f"{len(collection)} POIs, {len(queries)} queries, "
           f"partitioner={args.partitioner}, replicas={args.replicas}, "
-          f"fault_rate={args.fault_rate}")
+          f"fault_rate={args.fault_rate}, transport={args.transport}")
     print(f"{'shards':>7}{'avg ms':>10}{'pruned %':>10}{'retries':>9}"
           f"{'degraded':>10}{'mismatches':>12}")
     exit_code = 0
     last_snapshot = None
     for num_shards in args.shards:
-        with ShardRouter(collection, num_shards=num_shards,
-                         partitioner=args.partitioner,
-                         replication=args.replicas,
-                         num_workers=args.workers,
-                         max_fanout=args.fanout,
-                         fault_injector=injector) as router:
-            latency = retries = degraded = mismatches = 0.0
-            pruned = total = 0
-            for query in queries:
-                response = router.execute(query)
-                latency += response.latency_seconds
-                retries += response.replica_retries
-                degraded += 1 if response.degraded else 0
-                pruned += (response.shards_pruned
-                           + response.shards_keyword_pruned
-                           + response.shards_skipped)
-                total += response.shards_total
-                if reference is not None and not response.degraded:
-                    expected = reference.search(query)
-                    if [(e.poi_id, e.distance)
-                            for e in response.result.entries] != \
-                            [(e.poi_id, e.distance)
-                             for e in expected.entries]:
-                        mismatches += 1
+        with _cluster_bench_router(args, collection, num_shards,
+                                   injector) as router:
+            row = _cluster_measure(router, queries, reference)
+            latency, retries, degraded, mismatches, pruned, total = row
             print(f"{num_shards:>7}"
                   f"{1000.0 * latency / len(queries):>10.3f}"
                   f"{100.0 * pruned / total:>10.1f}"
@@ -524,6 +617,116 @@ def _cmd_cluster_bench(args: argparse.Namespace) -> int:
     if args.metrics_json and last_snapshot is not None:
         _write_metrics_json(last_snapshot, args.metrics_json)
     return exit_code
+
+
+def _cluster_measure(router, queries, reference):
+    """Run the sweep's query loop; returns the aggregate row counters."""
+    latency = retries = degraded = mismatches = 0.0
+    pruned = total = 0
+    for query in queries:
+        response = router.execute(query)
+        latency += response.latency_seconds
+        retries += response.replica_retries
+        degraded += 1 if response.degraded else 0
+        pruned += (response.shards_pruned
+                   + response.shards_keyword_pruned
+                   + response.shards_skipped)
+        total += response.shards_total
+        if reference is not None and not response.degraded:
+            expected = reference.search(query)
+            if [(e.poi_id, e.distance)
+                    for e in response.result.entries] != \
+                    [(e.poi_id, e.distance)
+                     for e in expected.entries]:
+                mismatches += 1
+    return latency, retries, degraded, mismatches, pruned, total
+
+
+def _cluster_bench_router(args: argparse.Namespace, collection,
+                          num_shards: int, injector):
+    """A router for one sweep step — in-process or over real servers.
+
+    For ``--transport socket`` the step builds and saves the sharded
+    deployment, launches one ``shard-server`` process per (shard,
+    replica), and returns a remote router over their sockets; teardown
+    (processes, temp dir) is chained onto the router's ``close()``.
+    """
+    from .cluster import ShardRouter
+
+    if args.transport == "inproc":
+        return ShardRouter(collection, num_shards=num_shards,
+                           partitioner=args.partitioner,
+                           replication=args.replicas,
+                           num_workers=args.workers,
+                           max_fanout=args.fanout,
+                           fault_injector=injector)
+
+    import contextlib
+    import tempfile
+
+    from .net import ClusterLauncher, connect_router
+
+    cleanup = contextlib.ExitStack()
+    try:
+        deploy = cleanup.enter_context(tempfile.TemporaryDirectory())
+        with ShardRouter(collection, num_shards=num_shards,
+                         partitioner=args.partitioner) as builder:
+            builder.save(deploy)
+        launcher = cleanup.enter_context(
+            ClusterLauncher(deploy, replication=args.replicas))
+        addresses = launcher.start()
+        router = connect_router(deploy, addresses,
+                                num_workers=args.workers,
+                                max_fanout=args.fanout)
+    except Exception:
+        cleanup.close()
+        raise
+    inner_close = router.close
+
+    def close_all() -> None:
+        inner_close()
+        cleanup.close()
+
+    router.close = close_all
+    return router
+
+
+def _cmd_shard_server(args: argparse.Namespace) -> int:
+    from .net import run_shard_server
+
+    return run_shard_server(
+        args.directory, host=args.host, port=args.port,
+        shard_id=args.shard_id, num_workers=args.workers,
+        max_inflight=args.max_inflight, cache_capacity=args.cache,
+        mode=PruningMode[args.mode])
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .net import ClusterFrontend, ClusterLauncher, connect_router
+
+    timeout = (args.timeout_ms / 1000.0
+               if args.timeout_ms is not None else None)
+    with ClusterLauncher(args.deployment, replication=args.replicas,
+                         num_workers=args.shard_workers) as launcher:
+        addresses = launcher.start()
+        for shard_id, replica_addresses in sorted(addresses.items()):
+            listed = ", ".join(f"{host}:{port}"
+                               for host, port in replica_addresses)
+            print(f"shard {shard_id}: {listed}")
+        with connect_router(args.deployment, addresses,
+                            max_fanout=args.fanout) as router, \
+                ClusterFrontend(router, host=args.host, port=args.port,
+                                max_inflight=args.max_inflight,
+                                num_workers=args.workers,
+                                default_timeout=timeout).start() as front:
+            host, port = front.address
+            print(f"FRONTEND READY {host} {port}", flush=True)
+            try:
+                while True:
+                    time.sleep(3600.0)
+            except KeyboardInterrupt:
+                print("shutting down")
+    return 0
 
 
 def _cmd_scrub(args: argparse.Namespace) -> int:
@@ -654,6 +857,8 @@ _COMMANDS = {
     "bench": _cmd_bench,
     "serve-bench": _cmd_serve_bench,
     "cluster-bench": _cmd_cluster_bench,
+    "shard-server": _cmd_shard_server,
+    "serve": _cmd_serve,
     "scrub": _cmd_scrub,
     "chaos-bench": _cmd_chaos_bench,
     "lint": _cmd_lint,

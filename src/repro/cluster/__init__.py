@@ -17,7 +17,10 @@ sub-regions inside one index.
   failover, and the :class:`FaultInjector` that makes degraded modes
   testable;
 * :mod:`~repro.cluster.stats` — routing counters and a whole-deployment
-  metrics snapshot on the PR-1 :class:`~repro.service.MetricsRegistry`.
+  metrics snapshot on the PR-1 :class:`~repro.service.MetricsRegistry`;
+* :mod:`~repro.cluster.transport` — the :class:`ShardTransport` protocol
+  that lets :class:`~repro.net.RemoteReplicaSet` substitute server
+  processes for in-process replicas without the router noticing.
 
 See ``docs/CLUSTER.md`` for the architecture, the pruning rule, and the
 replication/failover semantics.
@@ -38,8 +41,9 @@ from .replica import (
     ReplicaSet,
     ShardUnavailableError,
 )
-from .router import ClusterResponse, Shard, ShardRouter
+from .router import ClusterResponse, Shard, ShardRouter, spec_from_collection
 from .stats import SHARD_BUCKETS, ClusterStats
+from .transport import ReplicaState, ShardTransport
 
 __all__ = [
     "PARTITIONERS",
@@ -52,10 +56,13 @@ __all__ = [
     "InjectedFault",
     "Replica",
     "ReplicaSet",
+    "ReplicaState",
     "Shard",
     "ShardRouter",
     "ShardSpec",
+    "ShardTransport",
     "ShardUnavailableError",
     "build_layout",
     "shard_collection",
+    "spec_from_collection",
 ]

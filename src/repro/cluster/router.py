@@ -57,18 +57,34 @@ from ..trace import current_tracer, traced
 from .partition import ClusterLayout, ShardSpec, build_layout, shard_collection
 from .replica import FaultInjector, ReplicaSet, ShardUnavailableError
 from .stats import ClusterStats
+from .transport import ShardTransport
 
 
 class Shard:
-    """One shard: spec, data, index, estimator, and its replica set."""
+    """One shard: spec, data, estimator, and its serving transport.
+
+    ``transport`` is anything satisfying
+    :class:`~repro.cluster.transport.ShardTransport` — the in-process
+    :class:`~repro.cluster.replica.ReplicaSet`, or
+    :class:`~repro.net.RemoteReplicaSet` speaking to shard server
+    processes.  ``index`` is the local index when the shard's data lives
+    in this process, and ``None`` for remote shards (the router then
+    routes on the spec alone and cannot :meth:`ShardRouter.save`).
+    """
 
     def __init__(self, spec: ShardSpec, collection: POICollection,
-                 index: DesksIndex, replicas: ReplicaSet) -> None:
+                 index: Optional[DesksIndex],
+                 transport: "ShardTransport") -> None:
         self.spec = spec
         self.collection = collection
         self.index = index
-        self.replicas = replicas
+        self.transport = transport
         self.estimator = CardinalityEstimator(collection)
+
+    @property
+    def replicas(self) -> "ShardTransport":
+        """Backward-compatible alias for :attr:`transport`."""
+        return self.transport
 
     def globalize(self, result: QueryResult) -> List[ResultEntry]:
         """Map a shard-local result's POI ids back to global ids."""
@@ -172,6 +188,50 @@ class ShardRouter:
             raise
         self.num_shards = len(self.shards)
         self.replication = replication
+
+    @classmethod
+    def from_transports(cls,
+                        shards: Sequence[Tuple[ShardSpec, POICollection,
+                                               "ShardTransport"]],
+                        partitioner: str = "remote",
+                        num_workers: int = 8,
+                        max_fanout: int = 4,
+                        mode: PruningMode = PruningMode.RD,
+                        metrics: Optional[MetricsRegistry] = None,
+                        ) -> "ShardRouter":
+        """A router over pre-existing transports (e.g. remote servers).
+
+        ``shards`` pairs each :class:`~repro.cluster.partition.ShardSpec`
+        and its collection (for routing statistics — MBR pruning and
+        cardinality estimation need the data's *shape*, not its index)
+        with the transport that executes queries against it.  Scatter-
+        gather, pruning, ordering, and merge behave identically to a
+        locally-built router; only the per-shard call crosses the
+        transport.
+        """
+        if not shards:
+            raise ValueError("from_transports needs >= 1 shard")
+        if num_workers < 1:
+            raise ValueError(f"num_workers must be >= 1: {num_workers}")
+        if max_fanout < 1:
+            raise ValueError(f"max_fanout must be >= 1: {max_fanout}")
+        router = cls.__new__(cls)
+        router.mode = mode
+        router.max_fanout = max_fanout
+        router.fault_injector = None
+        router.stats = ClusterStats(metrics)
+        router._executor = ThreadPoolExecutor(
+            max_workers=num_workers, thread_name_prefix="desks-shard")
+        router.shards = [Shard(spec, collection, None, transport)
+                         for spec, collection, transport in shards]
+        router.layout = ClusterLayout(
+            partitioner,
+            sum(len(spec) for spec, _, _ in shards),
+            tuple(spec for spec, _, _ in shards))
+        router.num_shards = len(router.shards)
+        router.replication = max(len(shard.transport)
+                                 for shard in router.shards)
+        return router
 
     # -- routing ------------------------------------------------------------
 
@@ -277,7 +337,7 @@ class ShardRouter:
                         skipped += 1
                         wave_skipped += 1
                         continue
-                    call = shard.replicas.execute
+                    call = shard.transport.execute
                     if tracer is not None:
                         call = traced("router.shard", call,
                                       record_queue_wait=True,
@@ -292,7 +352,7 @@ class ShardRouter:
                         response, attempts = future.result()
                     except ShardUnavailableError:
                         failed.append(shard.spec.shard_id)
-                        retries += len(shard.replicas) - 1
+                        retries += len(shard.transport) - 1
                         partial = True
                         continue
                     retries += attempts
@@ -311,7 +371,7 @@ class ShardRouter:
             wave_number += 1
 
         quarantined = [shard.spec.shard_id for shard in self.shards
-                       if shard.replicas.quarantined_replicas()]
+                       if shard.transport.quarantined_replicas()]
         response = ClusterResponse(
             query=query,
             result=QueryResult(merged, partial=partial),
@@ -366,18 +426,30 @@ class ShardRouter:
         ]
         for shard in self.shards:
             spec = shard.spec
-            healthy = sum(1 for r in shard.replicas.replicas if r.healthy)
+            healthy = sum(1 for r in shard.transport.replicas if r.healthy)
             lines.append(
                 f"  shard {spec.shard_id}: {len(spec):6d} POIs  "
                 f"mbr=({spec.mbr.min_x:.0f},{spec.mbr.min_y:.0f})-"
                 f"({spec.mbr.max_x:.0f},{spec.mbr.max_y:.0f})  "
-                f"replicas={healthy}/{len(shard.replicas)} healthy")
+                f"replicas={healthy}/{len(shard.transport)} healthy")
         return "\n".join(lines)
 
     # -- persistence ------------------------------------------------------------
 
     def save(self, directory: str) -> None:
-        """Persist every shard index plus the cluster manifest."""
+        """Persist every shard index plus the cluster manifest.
+
+        Only routers holding their shards' indexes locally can save;
+        a remote router (built by :meth:`from_transports`) routes over
+        data owned by server processes and refuses.
+        """
+        missing = [shard.spec.shard_id for shard in self.shards
+                   if shard.index is None]
+        if missing:
+            raise ValueError(
+                f"cannot save: shards {missing} are remote (their indexes "
+                "live in server processes; save from the deployment that "
+                "built them)")
         save_sharded([shard.index for shard in self.shards], directory,
                      meta=self.layout.to_meta())
 
@@ -401,8 +473,8 @@ class ShardRouter:
                 raise ValueError(
                     f"shard {shard_id} holds {len(index.collection)} POIs "
                     f"but the manifest lists {len(ids)} ids")
-            spec = _spec_from_collection(shard_id, tuple(ids),
-                                         index.collection)
+            spec = spec_from_collection(shard_id, tuple(ids),
+                                        index.collection)
             prebuilt.append((spec, index))
         return cls(collection=None,
                    partitioner=meta.get("partitioner", "unknown"),
@@ -411,9 +483,9 @@ class ShardRouter:
     # -- lifecycle ---------------------------------------------------------------
 
     def close(self) -> None:
-        """Close every replica engine and the shared pool."""
+        """Close every shard transport and the shared pool."""
         for shard in self.shards:
-            shard.replicas.close()
+            shard.transport.close()
         self._executor.shutdown(wait=True)
 
     def __enter__(self) -> "ShardRouter":
@@ -423,9 +495,16 @@ class ShardRouter:
         self.close()
 
 
-def _spec_from_collection(shard_id: int, global_ids: Tuple[int, ...],
-                          collection: POICollection) -> ShardSpec:
-    """Recompute a shard's routing stats from its loaded collection."""
+def spec_from_collection(shard_id: int, global_ids: Tuple[int, ...],
+                         collection: POICollection) -> ShardSpec:
+    """Recompute a shard's routing stats from its loaded collection.
+
+    MBR and keyword document frequencies derive from the data, so only
+    identity (shard id + global id list) needs to come from a manifest.
+    Used both by :meth:`ShardRouter.load` and by
+    :func:`repro.net.connect_router`, which builds routing specs without
+    loading the shard *indexes* (those live in the server processes).
+    """
     from collections import Counter
 
     df: Counter = Counter()

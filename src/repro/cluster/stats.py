@@ -70,10 +70,14 @@ class ClusterStats:
                 str(shard.spec.shard_id): {
                     "num_pois": len(shard.spec),
                     "replicas": [
+                        # Remote replicas have no local engine; their
+                        # metrics live in the server process (scrape via
+                        # the stats RPC instead).
                         replica.engine.metrics.to_dict()
-                        for replica in shard.replicas.replicas
+                        if hasattr(replica, "engine") else {}
+                        for replica in shard.transport.replicas
                     ],
-                    "health": shard.replicas.health_summary(),
+                    "health": shard.transport.health_summary(),
                 }
                 for shard in shards
             },

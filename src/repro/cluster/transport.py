@@ -1,0 +1,75 @@
+"""The transport seam: what the router requires of a shard's serving side.
+
+:class:`~repro.cluster.router.ShardRouter` does not care *where* a
+shard's queries execute — in-process on a shared thread pool
+(:class:`~repro.cluster.replica.ReplicaSet`) or across a socket in
+another OS process (:class:`~repro.net.RemoteReplicaSet`).  It cares
+about one contract, written down here as a :class:`typing.Protocol` so
+both implementations are checked against the same surface and a future
+transport (shared memory, RDMA, a different serialization) only has to
+satisfy this file.
+
+The contract is exactly what failover needs:
+
+* ``execute(query, timeout)`` returns ``(response, retries)`` — the
+  served answer plus how many replica attempts failed first — or raises
+  :class:`~repro.cluster.replica.ShardUnavailableError` when every
+  replica of the shard is gone (the router then degrades the answer to
+  ``partial=True`` instead of erroring the whole query);
+* ``replicas`` exposes per-replica health objects (``healthy``,
+  ``replica_id``) for :meth:`~repro.cluster.router.ShardRouter.describe`
+  and stats aggregation;
+* ``quarantined_replicas()`` lists replicas parked for data corruption
+  (sticky — retrying cannot heal damaged pages);
+* ``close()`` releases whatever the transport holds open (engines or
+  connection pools).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Protocol, Sequence, Tuple, runtime_checkable
+
+from ..core import DirectionalQuery
+from ..service import ServiceResponse
+
+
+@runtime_checkable
+class ReplicaState(Protocol):
+    """Per-replica health as the router and stats layers read it."""
+
+    replica_id: int
+    healthy: bool
+    quarantined: bool
+
+
+@runtime_checkable
+class ShardTransport(Protocol):
+    """Executes one shard's queries, wherever that shard lives."""
+
+    replicas: Sequence[ReplicaState]
+
+    def execute(self, query: DirectionalQuery,
+                timeout: Optional[float] = None,
+                ) -> Tuple[ServiceResponse, int]:
+        """Serve ``query`` with failover; ``(response, failed_attempts)``.
+
+        Raises :class:`~repro.cluster.replica.ShardUnavailableError`
+        when no replica can answer.
+        """
+        ...  # pragma: no cover - protocol definition
+
+    def __len__(self) -> int:
+        """Number of replicas behind this transport."""
+        ...  # pragma: no cover - protocol definition
+
+    def quarantined_replicas(self) -> List[int]:
+        """Replica ids excluded for corruption until operator action."""
+        ...  # pragma: no cover - protocol definition
+
+    def health_summary(self) -> List[dict]:
+        """Per-replica health dicts for stats/CLI output."""
+        ...  # pragma: no cover - protocol definition
+
+    def close(self) -> None:
+        """Release engines, sockets, or whatever the transport holds."""
+        ...  # pragma: no cover - protocol definition

@@ -1,0 +1,98 @@
+"""Out-of-process shard serving over a length-prefixed binary protocol.
+
+Everything below :mod:`repro.cluster` runs in one Python process behind
+one GIL; this package is the network boundary that lets each shard (or
+replica) own an OS process — the substrate the ROADMAP's scaling work
+ships traffic through:
+
+* :mod:`~repro.net.protocol` — the versioned wire format:
+  ``[magic][version][type][len][crc32]`` frames, hand-rolled struct
+  payloads (bit-exact floats, no pickle), typed errors, and the
+  remaining-deadline budget that carries per-request deadlines across
+  hosts;
+* :mod:`~repro.net.server` — :class:`ShardServer`: one shard's index
+  behind a blocking accept loop, engine worker pool, and admission
+  control that sheds with typed ``OVERLOAD`` instead of queueing;
+* :mod:`~repro.net.client` — :class:`RemoteShardClient` (persistent
+  connections, reconnect/backoff, deadline-derived timeouts) and
+  :class:`RemoteReplicaSet`, the drop-in
+  :class:`~repro.cluster.ShardTransport` that gives the router failover
+  across server processes;
+* :mod:`~repro.net.frontend` — :class:`ClusterFrontend`: the asyncio
+  front door with bounded in-flight admission and deadline enforcement;
+* :mod:`~repro.net.launcher` — :class:`ClusterLauncher` (spawn/probe/
+  kill/stop server processes) and :func:`connect_router`;
+* :mod:`~repro.net.loadgen` — the closed-loop generator the network
+  benchmarks drive both transports with.
+
+This package is the only place in the tree allowed to touch raw
+``socket``/``asyncio`` transport (lint rule DAL007) — every other layer
+stays deterministic, testable, and transport-agnostic.
+
+See ``docs/NETWORK.md`` for the wire format, the life of a remote
+query, and the failure-mode matrix.
+"""
+
+from .client import (
+    Address,
+    RemoteReplica,
+    RemoteReplicaSet,
+    RemoteShardClient,
+    TransportError,
+)
+from .frontend import ClusterFrontend
+from .launcher import ClusterLauncher, LaunchError, ServerProcess, connect_router
+from .loadgen import NetworkLoadReport, run_network_closed_loop
+from .protocol import (
+    HEADER_SIZE,
+    MAGIC,
+    MAX_PAYLOAD,
+    WIRE_VERSION,
+    BadMagic,
+    ChecksumMismatch,
+    ErrorCode,
+    FrameTooLarge,
+    HealthReport,
+    MessageType,
+    OverloadError,
+    ProtocolError,
+    RemoteSearchResult,
+    RpcError,
+    TruncatedFrame,
+    VersionMismatch,
+)
+from .server import ShardServer, load_shard, run_shard_server
+
+__all__ = [
+    "Address",
+    "BadMagic",
+    "ChecksumMismatch",
+    "ClusterFrontend",
+    "ClusterLauncher",
+    "ErrorCode",
+    "FrameTooLarge",
+    "HEADER_SIZE",
+    "HealthReport",
+    "LaunchError",
+    "MAGIC",
+    "MAX_PAYLOAD",
+    "MessageType",
+    "NetworkLoadReport",
+    "OverloadError",
+    "ProtocolError",
+    "RemoteReplica",
+    "RemoteReplicaSet",
+    "RemoteSearchResult",
+    "RemoteShardClient",
+    "RpcError",
+    "ServerProcess",
+    "ShardServer",
+    "TransportError",
+    "TruncatedFrame",
+    "VersionMismatch",
+    "WIRE_VERSION",
+    "connect_router",
+    "load_shard",
+    "run_network_closed_loop",
+    "run_shard_server",
+]

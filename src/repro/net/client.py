@@ -1,0 +1,375 @@
+"""Client side of the shard protocol: connection pool and failover set.
+
+:class:`RemoteShardClient` speaks :mod:`repro.net.protocol` to one server
+address over a small pool of persistent TCP connections — reconnect with
+exponential backoff, retry-once when a pooled (possibly stale) connection
+dies mid-request, socket timeouts derived from the request's deadline
+budget so a dead server can never hang a caller.
+
+:class:`RemoteReplicaSet` stacks R clients (one per replica server) behind
+the *exact* surface :class:`~repro.cluster.ReplicaSet` exposes to
+:class:`~repro.cluster.ShardRouter` — ``execute(query, timeout) ->
+(response, retries)``, rotation over healthy replicas, sticky quarantine
+on degraded answers, :class:`~repro.cluster.ShardUnavailableError` when
+every replica fails — which is what lets the router's scatter-gather,
+pruning, and merge logic run unchanged over processes instead of threads.
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from ..analysis import make_lock
+from ..core import DirectionalQuery
+from ..service import MetricsRegistry, ServiceResponse
+from . import protocol
+from .protocol import HealthReport, MessageType, RemoteSearchResult
+
+Address = Tuple[str, int]
+
+
+class TransportError(RuntimeError):
+    """The connection to a server failed (connect, send, or receive)."""
+
+    def __init__(self, address: Address, detail: str) -> None:
+        self.address = address
+        super().__init__(f"{address[0]}:{address[1]}: {detail}")
+
+
+class RemoteShardClient:
+    """A pooled, reconnecting client for one shard server address."""
+
+    def __init__(self, address: Address,
+                 connect_timeout: float = 5.0,
+                 request_timeout: float = 30.0,
+                 deadline_grace: float = 2.0,
+                 connect_attempts: int = 3,
+                 backoff: float = 0.05) -> None:
+        if connect_attempts < 1:
+            raise ValueError(
+                f"connect_attempts must be >= 1: {connect_attempts}")
+        self.address = (address[0], int(address[1]))
+        self.connect_timeout = connect_timeout
+        self.request_timeout = request_timeout
+        #: Extra seconds past the deadline budget before the socket times
+        #: out: the server answers an expired budget immediately, so only
+        #: a dead/wedged server is ever caught by the socket timeout.
+        self.deadline_grace = deadline_grace
+        self.connect_attempts = connect_attempts
+        self.backoff = backoff
+        self._idle: List[socket.socket] = []
+        self._lock = make_lock("net.client")
+        self._closed = False
+        self.reconnects = 0
+
+    # -- connection pool ----------------------------------------------------
+
+    def _connect(self) -> socket.socket:
+        """Dial the server, with exponential backoff between attempts."""
+        last: Optional[OSError] = None
+        for attempt in range(self.connect_attempts):
+            if attempt:
+                time.sleep(self.backoff * (2 ** (attempt - 1)))
+            try:
+                conn = socket.create_connection(
+                    self.address, timeout=self.connect_timeout)
+                conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+                with self._lock:
+                    self.reconnects += 1
+                return conn
+            except OSError as exc:
+                last = exc
+        raise TransportError(
+            self.address,
+            f"connect failed after {self.connect_attempts} attempts: {last}")
+
+    def _acquire(self) -> Tuple[socket.socket, bool]:
+        """A pooled connection (``reused=True``) or a fresh one."""
+        with self._lock:
+            if self._closed:
+                raise TransportError(self.address, "client is closed")
+            if self._idle:
+                return self._idle.pop(), True
+        return self._connect(), False
+
+    def _release(self, conn: socket.socket) -> None:
+        with self._lock:
+            if not self._closed:
+                self._idle.append(conn)
+                return
+        _close_quietly(conn)
+
+    def close(self) -> None:
+        """Drop every pooled connection; subsequent requests fail fast."""
+        with self._lock:
+            self._closed = True
+            idle, self._idle = self._idle, []
+        for conn in idle:
+            _close_quietly(conn)
+
+    def __enter__(self) -> "RemoteShardClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- request/response ---------------------------------------------------
+
+    def _roundtrip(self, frame: bytes, timeout: float,
+                   ) -> Tuple[MessageType, bytes]:
+        """Send one frame, read one frame; retry once on a stale socket.
+
+        A pooled connection may have been closed by the server (restart,
+        idle reap) since its last use — that failure mode is retried once
+        on a fresh connection.  A fresh connection's failure is the
+        server's, and surfaces as :class:`TransportError`.
+        """
+        for _ in range(2):
+            conn, reused = self._acquire()
+            conn.settimeout(timeout)
+            try:
+                conn.sendall(frame)
+                msg_type, payload = protocol.read_frame(
+                    lambda count: _recv_exactly(conn, count))
+            except protocol.TruncatedFrame as exc:
+                _close_quietly(conn)
+                if reused:
+                    continue
+                raise TransportError(self.address, str(exc)) from None
+            except socket.timeout:
+                _close_quietly(conn)
+                raise TransportError(
+                    self.address,
+                    f"no response within {timeout:.3f}s") from None
+            except OSError as exc:
+                _close_quietly(conn)
+                if reused:
+                    continue
+                raise TransportError(self.address, str(exc)) from None
+            except protocol.ProtocolError:
+                # The stream is desynchronized or the peer is not a DESKS
+                # server; the connection is poisoned either way.
+                _close_quietly(conn)
+                raise
+            self._release(conn)
+            return msg_type, payload
+        raise TransportError(  # pragma: no cover - loop always returns/raises
+            self.address, "request failed on a fresh connection")
+
+    def _expect(self, frame: bytes, want: MessageType,
+                timeout: float) -> bytes:
+        msg_type, payload = self._roundtrip(frame, timeout)
+        if msg_type is MessageType.ERROR:
+            raise protocol.decode_error(payload)
+        if msg_type is not want:
+            raise protocol.ProtocolError(
+                f"expected {want.name}, server sent {msg_type.name}")
+        return payload
+
+    def search(self, query: DirectionalQuery,
+               budget: Optional[float] = None) -> RemoteSearchResult:
+        """Execute ``query`` remotely under ``budget`` remaining seconds.
+
+        Raises :class:`~repro.net.protocol.OverloadError` when the server
+        sheds the request, :class:`~repro.net.protocol.RpcError` for other
+        typed server errors, :class:`TransportError` when the server is
+        unreachable or silent past the budget plus grace.
+        """
+        timeout = (self.request_timeout if budget is None
+                   else budget + self.deadline_grace)
+        frame = protocol.encode_frame(
+            MessageType.SEARCH_REQUEST,
+            protocol.encode_search_request(query, budget))
+        payload = self._expect(frame, MessageType.SEARCH_RESPONSE, timeout)
+        return protocol.decode_search_response(payload)
+
+    def health(self, timeout: float = 5.0) -> HealthReport:
+        """Probe the server's health endpoint."""
+        frame = protocol.encode_frame(MessageType.HEALTH_REQUEST)
+        payload = self._expect(frame, MessageType.HEALTH_RESPONSE, timeout)
+        return protocol.decode_health_response(payload)
+
+    def stats(self, timeout: float = 5.0) -> dict:
+        """Scrape the server's counter snapshot."""
+        frame = protocol.encode_frame(MessageType.STATS_REQUEST)
+        payload = self._expect(frame, MessageType.STATS_RESPONSE, timeout)
+        return protocol.decode_stats_response(payload)
+
+
+def _recv_exactly(conn: socket.socket, count: int) -> bytes:
+    chunks = []
+    remaining = count
+    while remaining:
+        chunk = conn.recv(remaining)
+        if not chunk:
+            break
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def _close_quietly(conn: socket.socket) -> None:
+    try:
+        conn.close()
+    except OSError:  # pragma: no cover - close is best-effort
+        pass
+
+
+class RemoteReplica:
+    """One replica server address plus its client-side health state."""
+
+    def __init__(self, shard_id: int, replica_id: int,
+                 client: RemoteShardClient, health_threshold: int) -> None:
+        self.shard_id = shard_id
+        self.replica_id = replica_id
+        self.client = client
+        self.health_threshold = health_threshold
+        self.healthy = True
+        self.consecutive_failures = 0
+        self.total_failures = 0
+        self.quarantined = False
+        self.quarantine_cause: Optional[str] = None
+        self._lock = make_lock("net.remote_replica")
+
+    def mark_success(self) -> None:
+        """A request succeeded; an unhealthy replica recovers."""
+        with self._lock:
+            self.consecutive_failures = 0
+            self.healthy = True
+
+    def mark_failure(self) -> None:
+        """A request failed; ``health_threshold`` in a row → unhealthy."""
+        with self._lock:
+            self.consecutive_failures += 1
+            self.total_failures += 1
+            if self.consecutive_failures >= self.health_threshold:
+                self.healthy = False
+
+    def quarantine(self, cause: str) -> None:
+        """Sticky exclusion after a degraded (corruption) answer."""
+        with self._lock:
+            self.quarantined = True
+            self.quarantine_cause = cause
+            self.healthy = False
+
+
+class RemoteReplicaSet:
+    """R remote replicas of one shard, behind the ReplicaSet surface.
+
+    Drop-in for :class:`~repro.cluster.ReplicaSet` from the router's
+    point of view: same ``execute`` contract, same rotation and
+    healthy-first failover order, same sticky quarantine on degraded
+    answers, same :class:`~repro.cluster.ShardUnavailableError` when the
+    whole shard is gone — except attempts cross process (and eventually
+    machine) boundaries instead of calling a local engine.
+    """
+
+    def __init__(self, shard_id: int, addresses: Sequence[Address],
+                 health_threshold: int = 3,
+                 metrics: Optional[MetricsRegistry] = None,
+                 request_timeout: float = 30.0,
+                 client_factory: Optional[
+                     Callable[[Address], RemoteShardClient]] = None) -> None:
+        if not addresses:
+            raise ValueError(f"shard {shard_id} needs >= 1 server address")
+        if health_threshold < 1:
+            raise ValueError(
+                f"health_threshold must be >= 1: {health_threshold}")
+        if client_factory is None:
+            def client_factory(address: Address) -> RemoteShardClient:
+                return RemoteShardClient(address,
+                                         request_timeout=request_timeout)
+        self.shard_id = shard_id
+        self.metrics = metrics
+        self.replicas: List[RemoteReplica] = [
+            RemoteReplica(shard_id, replica_id, client_factory(address),
+                          health_threshold)
+            for replica_id, address in enumerate(addresses)
+        ]
+        self._rotation = 0
+        self._lock = make_lock("net.remote_replica_set")
+
+    def __len__(self) -> int:
+        return len(self.replicas)
+
+    def _attempt_order(self) -> List[RemoteReplica]:
+        """Healthy first from a rotating start; quarantined excluded."""
+        with self._lock:
+            start = self._rotation
+            self._rotation = (self._rotation + 1) % len(self.replicas)
+        rotated = [r for r in (self.replicas[start:] + self.replicas[:start])
+                   if not r.quarantined]
+        return ([r for r in rotated if r.healthy]
+                + [r for r in rotated if not r.healthy])
+
+    def execute(self, query: DirectionalQuery,
+                timeout: Optional[float] = None,
+                ) -> Tuple[ServiceResponse, int]:
+        """Serve ``query`` remotely, failing over across replica servers.
+
+        Returns ``(response, retries)``; raises
+        :class:`~repro.cluster.ShardUnavailableError` when every replica
+        fails (dead process, shed under overload, protocol violation).
+        """
+        from ..cluster import ShardUnavailableError
+
+        last_error: Optional[BaseException] = None
+        attempts = 0
+        for replica in self._attempt_order():
+            attempts += 1
+            started = time.monotonic()
+            try:
+                remote = replica.client.search(query, budget=timeout)
+            except (TransportError, protocol.ProtocolError,
+                    protocol.RpcError) as exc:
+                replica.mark_failure()
+                last_error = exc
+                if self.metrics is not None:
+                    self.metrics.counter(
+                        "cluster_replica_failures_total").increment()
+                continue
+            if remote.degraded:
+                # The remote engine hit corruption and refused to answer:
+                # park this replica exactly as the in-process set would.
+                cause = remote.failure_cause or "degraded response"
+                replica.quarantine(cause)
+                if self.metrics is not None:
+                    self.metrics.counter(
+                        "cluster_replicas_quarantined_total").increment()
+                last_error = RuntimeError(
+                    f"replica {replica.replica_id} degraded: {cause}")
+                continue
+            replica.mark_success()
+            response = ServiceResponse(
+                query=query,
+                result=remote.result,
+                cached=remote.cached,
+                generation=remote.generation,
+                latency_seconds=time.monotonic() - started,
+                stats=remote.stats)
+            return response, attempts - 1
+        raise ShardUnavailableError(self.shard_id, attempts, last_error)
+
+    def quarantined_replicas(self) -> List[int]:
+        """Replica ids parked for corruption (sticky)."""
+        return [r.replica_id for r in self.replicas if r.quarantined]
+
+    def health_summary(self) -> List[dict]:
+        """Per-replica health for stats/CLI output."""
+        return [
+            {
+                "replica_id": r.replica_id,
+                "healthy": r.healthy,
+                "consecutive_failures": r.consecutive_failures,
+                "total_failures": r.total_failures,
+                "address": f"{r.client.address[0]}:{r.client.address[1]}",
+            }
+            for r in self.replicas
+        ]
+
+    def close(self) -> None:
+        """Close every replica's connection pool."""
+        for replica in self.replicas:
+            replica.client.close()

@@ -1,0 +1,199 @@
+"""Closed-loop load generation against a network (or in-process) target.
+
+The :func:`~repro.service.run_closed_loop` generator drives one engine's
+thread pool; this one drives *any* issue function — a
+:class:`~repro.net.RemoteShardClient` pointed at a front door, or the
+router called in-process — so the serve benchmarks can compare the two
+transports with the same workload, client count, and bookkeeping.
+
+Differences from the in-process generator, both forced by the network:
+
+* a shed request (:class:`~repro.net.protocol.OverloadError`) is an
+  *expected* outcome under overdrive, counted separately rather than
+  aborting the client — measuring the shed rate is the point;
+* latency percentiles are computed exactly from every recorded sample
+  (the in-process path reads the engine's bucketed histogram; here the
+  server's histogram is remote, and the client-observed latency —
+  including the wire — is the number that matters).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from ..core import DirectionalQuery
+from .client import TransportError
+from .protocol import OverloadError
+
+
+@dataclass
+class NetworkLoadReport:
+    """Aggregate outcome of one closed-loop run against a transport."""
+
+    transport: str
+    num_clients: int
+    elapsed_seconds: float
+    completed: int
+    overloaded: int
+    transport_errors: int
+    partial_results: int
+    errors: int
+    first_error: Optional[str] = None
+    #: Exact client-observed latency stats (seconds): mean/p50/p95/p99/max.
+    latency: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def attempts(self) -> int:
+        """Requests issued, whatever their outcome."""
+        return (self.completed + self.overloaded + self.transport_errors
+                + self.errors)
+
+    @property
+    def qps(self) -> float:
+        """Completed queries per wall-clock second."""
+        return self.completed / max(self.elapsed_seconds, 1e-9)
+
+    @property
+    def overload_rate(self) -> float:
+        """Fraction of issued requests shed with a typed OVERLOAD."""
+        return self.overloaded / max(self.attempts, 1)
+
+    def summary(self) -> str:
+        """One human-readable line, the network bench's table row."""
+        p95 = self.latency.get("p95", 0.0) * 1000.0
+        return (f"{self.transport:<7} clients={self.num_clients:<3} "
+                f"qps={self.qps:8.1f}  p95={p95:7.2f}ms  "
+                f"overload={self.overload_rate:6.1%}  "
+                f"partial={self.partial_results}  errors={self.errors}")
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready form for ``results/BENCH_network.json``."""
+        return {
+            "transport": self.transport,
+            "num_clients": self.num_clients,
+            "elapsed_seconds": self.elapsed_seconds,
+            "completed": self.completed,
+            "qps": self.qps,
+            "overloaded": self.overloaded,
+            "overload_rate": self.overload_rate,
+            "transport_errors": self.transport_errors,
+            "partial_results": self.partial_results,
+            "errors": self.errors,
+            "latency": dict(self.latency),
+        }
+
+
+def _exact_percentile(samples: List[float], q: float) -> float:
+    """Nearest-rank percentile over pre-sorted ``samples``."""
+    if not samples:
+        return 0.0
+    rank = -(-q * len(samples) // 100)  # ceil(q/100 * n) via floor-div
+    rank = min(len(samples), max(1, int(rank)))
+    return samples[rank - 1]
+
+
+def run_network_closed_loop(
+        issue: Callable[[DirectionalQuery], Any],
+        queries: Sequence[DirectionalQuery],
+        num_clients: int,
+        requests_per_client: Optional[int] = None,
+        duration_seconds: Optional[float] = None,
+        think_time: float = 0.0,
+        transport: str = "socket") -> NetworkLoadReport:
+    """Drive ``issue`` with ``num_clients`` synchronous client threads.
+
+    ``issue(query)`` is typically ``client.search`` bound to a budget, or
+    ``router.execute`` for the in-process baseline; its return value only
+    needs a truthy/falsy ``partial`` attribute (both
+    :class:`~repro.net.protocol.RemoteSearchResult` and
+    :class:`~repro.service.ServiceResponse` qualify).  Client ``i`` walks
+    the query list from offset ``i`` with stride ``num_clients`` — the
+    same deterministic walk as the in-process generator, so the two
+    transports see identical workloads.
+    """
+    if not queries:
+        raise ValueError("the workload needs at least one query")
+    if num_clients <= 0:
+        raise ValueError(f"num_clients must be positive: {num_clients}")
+    if (requests_per_client is None) == (duration_seconds is None):
+        raise ValueError("give exactly one of requests_per_client or "
+                         "duration_seconds")
+
+    stop_at = (time.monotonic() + duration_seconds
+               if duration_seconds is not None else None)
+    completed = [0] * num_clients
+    overloaded = [0] * num_clients
+    transport_errors = [0] * num_clients
+    partials = [0] * num_clients
+    samples: List[List[float]] = [[] for _ in range(num_clients)]
+    errors: List[str] = []
+    errors_lock = threading.Lock()
+    start_barrier = threading.Barrier(num_clients + 1)
+
+    def client(client_id: int) -> None:
+        position = client_id
+        issued = 0
+        start_barrier.wait()
+        while True:
+            if requests_per_client is not None and \
+                    issued >= requests_per_client:
+                break
+            if stop_at is not None and time.monotonic() >= stop_at:
+                break
+            query = queries[position % len(queries)]
+            position += num_clients
+            issued += 1
+            started = time.monotonic()
+            try:
+                result = issue(query)
+            except OverloadError:
+                overloaded[client_id] += 1
+                continue
+            except TransportError:
+                transport_errors[client_id] += 1
+                continue
+            except Exception as exc:  # noqa: BLE001 - reported, not lost
+                with errors_lock:
+                    errors.append(f"{type(exc).__name__}: {exc}")
+                break
+            samples[client_id].append(time.monotonic() - started)
+            completed[client_id] += 1
+            if getattr(result, "partial", False):
+                partials[client_id] += 1
+            if think_time > 0.0:
+                time.sleep(think_time)
+
+    threads = [threading.Thread(target=client, args=(i,),
+                                name=f"net-client-{i}", daemon=True)
+               for i in range(num_clients)]
+    for thread in threads:
+        thread.start()
+    start_barrier.wait()
+    started = time.monotonic()
+    for thread in threads:
+        thread.join()
+    elapsed = time.monotonic() - started
+
+    merged = sorted(s for per_client in samples for s in per_client)
+    latency = {
+        "mean": sum(merged) / len(merged) if merged else 0.0,
+        "p50": _exact_percentile(merged, 50),
+        "p95": _exact_percentile(merged, 95),
+        "p99": _exact_percentile(merged, 99),
+        "max": merged[-1] if merged else 0.0,
+    }
+    return NetworkLoadReport(
+        transport=transport,
+        num_clients=num_clients,
+        elapsed_seconds=elapsed,
+        completed=sum(completed),
+        overloaded=sum(overloaded),
+        transport_errors=sum(transport_errors),
+        partial_results=sum(partials),
+        errors=len(errors),
+        first_error=errors[0] if errors else None,
+        latency=latency,
+    )

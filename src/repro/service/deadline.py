@@ -65,6 +65,18 @@ class Deadline:
             return math.inf
         return max(0.0, self._expires_at - time.monotonic())
 
+    def budget(self) -> Optional[float]:
+        """Remaining seconds as a wire-friendly value: ``None`` unbounded.
+
+        The shape :func:`repro.net.protocol.encode_search_request` takes,
+        so a caller forwards ``deadline.budget()`` and the receiving
+        process restarts its own deadline from the number — remaining
+        time, not an absolute clock, is what crosses hosts.
+        """
+        if self.is_unbounded:
+            return None
+        return self.remaining()
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         if self.is_unbounded:
             return "Deadline(unbounded)"

@@ -13,6 +13,7 @@ from repro.analysis.rules import (
     FloatEqualityRule,
     NondeterminismRule,
     StrayFileWriteRule,
+    TransportRule,
 )
 
 CORE = "src/repro/core/example.py"
@@ -229,6 +230,64 @@ class TestNondeterminism:
         # threaten reproducibility of recorded artifacts.
         assert lint("import time\ndt = time.monotonic()\n",
                     rules=self.RULE) == []
+
+
+# -- DAL007: raw transport outside repro.net ---------------------------------
+
+
+class TestTransport:
+    RULE = [TransportRule]
+    NET = "src/repro/net/example.py"
+
+    def test_import_socket_fires(self):
+        found = lint("import socket\n", rules=self.RULE)
+        assert codes(found) == ["DAL007"]
+        assert found[0].line == 1
+
+    def test_import_asyncio_fires(self):
+        assert codes(lint("import asyncio\n",
+                          rules=self.RULE)) == ["DAL007"]
+
+    def test_from_import_fires(self):
+        for stmt in ("from socket import create_connection",
+                     "from asyncio import StreamReader",
+                     "from socket.whatever import x",
+                     "import socketserver",
+                     "import selectors",
+                     "import ssl"):
+            assert codes(lint(stmt + "\n",
+                              rules=self.RULE)) == ["DAL007"], stmt
+
+    def test_lazy_function_local_import_still_fires(self):
+        src = ("def probe(address):\n"
+               "    import socket\n"
+               "    return socket.create_connection(address)\n")
+        found = lint(src, rules=self.RULE)
+        assert codes(found) == ["DAL007"]
+        assert found[0].line == 2
+
+    def test_aliased_import_fires(self):
+        assert codes(lint("import socket as sk\n",
+                          rules=self.RULE)) == ["DAL007"]
+
+    def test_silent_inside_repro_net(self):
+        src = "import socket\nimport asyncio\n"
+        assert lint(src, path=self.NET, rules=self.RULE) == []
+        assert lint(src, path="src/repro/net/sub/deep.py",
+                    rules=self.RULE) == []
+
+    def test_relative_and_unrelated_imports_ok(self):
+        src = ("import threading\n"
+               "from . import protocol\n"
+               "from ..service import MetricsRegistry\n"
+               "import socketish_helper\n")
+        assert lint(src, rules=self.RULE) == []
+
+    def test_noqa_suppresses(self):
+        found = lint("import socket  # desks: noqa-DAL007\n",
+                     rules=self.RULE)
+        assert active(found) == []
+        assert [f.code for f in found if f.suppressed] == ["DAL007"]
 
 
 # -- engine plumbing ----------------------------------------------------------

@@ -1,0 +1,79 @@
+"""Shared fixtures for the network serving layer tests.
+
+The server fixtures run :class:`~repro.net.ShardServer` on a background
+thread inside the test process (cheap, deterministic); only the launcher
+tests fork real OS processes.
+"""
+
+import random
+
+import pytest
+
+from repro.core import DesksIndex, DesksSearcher, DirectionalQuery
+from repro.datasets import POI, POICollection
+from repro.net import RemoteShardClient, ShardServer
+
+KEYWORD_POOL = ["cafe", "food", "gas", "atm", "pizza", "bank", "hotel",
+                "park"]
+
+
+def make_collection(n=300, seed=23, extent=100.0):
+    rng = random.Random(seed)
+    return POICollection([
+        POI.make(i, rng.uniform(0, extent), rng.uniform(0, extent),
+                 rng.sample(KEYWORD_POOL, rng.randint(1, 3)))
+        for i in range(n)
+    ])
+
+
+def random_queries(rng, count, extent=100.0, pool=KEYWORD_POOL):
+    """Mixed random workload: locations inside and outside the data."""
+    import math
+
+    queries = []
+    for _ in range(count):
+        margin = 0.3 * extent
+        x = rng.uniform(-margin, extent + margin)
+        y = rng.uniform(-margin, extent + margin)
+        alpha = rng.uniform(0.0, 2 * math.pi)
+        width = rng.uniform(0.05, 2 * math.pi)
+        keywords = rng.sample(pool, rng.randint(1, 2))
+        k = rng.choice([1, 3, 10])
+        queries.append(DirectionalQuery.make(x, y, alpha, alpha + width,
+                                             keywords, k))
+    return queries
+
+
+def entries_of(result):
+    """Comparable (poi_id, distance) pairs of a QueryResult."""
+    return [(e.poi_id, e.distance) for e in result.entries]
+
+
+@pytest.fixture(scope="module")
+def collection():
+    return make_collection()
+
+
+@pytest.fixture(scope="module")
+def index(collection):
+    return DesksIndex(collection, num_bands=4, num_wedges=5)
+
+
+@pytest.fixture(scope="module")
+def reference(index):
+    """Unsharded searcher — the equivalence oracle."""
+    return DesksSearcher(index)
+
+
+@pytest.fixture(scope="module")
+def server(index):
+    """A ShardServer on an ephemeral port, shared across a module."""
+    srv = ShardServer(index, shard_id=0, num_workers=2).start()
+    yield srv
+    srv.stop()
+
+
+@pytest.fixture()
+def client(server):
+    with RemoteShardClient(server.address) as cli:
+        yield cli
