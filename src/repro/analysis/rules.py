@@ -371,6 +371,71 @@ class TransportRule(RuleVisitor):
         self.generic_visit(node)
 
 
+class LanguagePurityRule(RuleVisitor):
+    """DAL008: :mod:`repro.lang` importing beyond its dependency set."""
+
+    code = "DAL008"
+    summary = ("repro.lang importing repro packages other than "
+               "geometry/text/core/trace")
+    rationale = (
+        "The query language is a pure layer: statements parse to plans "
+        "and plans bind to *caller-supplied* backends, so repro.lang may "
+        "depend only on the vocabulary it describes — repro.geometry "
+        "(angles), repro.text (keyword canonicalisation), repro.core "
+        "(queries, modes, search), and repro.trace (EXPLAIN).  An import "
+        "of service/cluster/net from repro.lang would invert the "
+        "dependency arrow (those layers import the language to speak "
+        "DQL), drag sockets and thread pools into every parser test, and "
+        "re-couple the executor seam this package exists to keep open.")
+
+    #: ``repro.*`` sub-packages the language layer may import (itself
+    #: included, for intra-package relative imports).
+    ALLOWED = {"geometry", "text", "core", "trace", "lang"}
+
+    def _resolved_root(self, node: ast.ImportFrom) -> List[str]:
+        """The absolute ``repro/...`` parts a relative import targets."""
+        package = self.ctx.module_path.split("/")[:-1]
+        if node.level > 1:
+            package = package[:len(package) - (node.level - 1)]
+        return package + ((node.module or "").split(".")
+                          if node.module else [])
+
+    def _check(self, node: ast.AST, package: str) -> None:
+        if package not in self.ALLOWED:
+            self.emit(node, f"repro.lang imports repro.{package}; the "
+                            "language layer may depend only on "
+                            "geometry/text/core/trace — pass backends in "
+                            "from the caller instead")
+
+    def visit_Import(self, node: ast.Import) -> None:
+        if self.ctx.in_package("lang"):
+            for alias in node.names:
+                parts = alias.name.split(".")
+                if parts[0] == "repro" and len(parts) > 1:
+                    self._check(node, parts[1])
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if self.ctx.in_package("lang"):
+            if node.level == 0:
+                parts = (node.module or "").split(".")
+                if parts[0] == "repro":
+                    if len(parts) > 1:
+                        self._check(node, parts[1])
+                    else:  # from repro import X -- names are packages
+                        for alias in node.names:
+                            self._check(node, alias.name)
+            else:
+                parts = self._resolved_root(node)
+                if parts[:1] == ["repro"]:
+                    if len(parts) > 1:
+                        self._check(node, parts[1])
+                    else:  # from .. import X -- names are packages
+                        for alias in node.names:
+                            self._check(node, alias.name)
+        self.generic_visit(node)
+
+
 #: Every rule, in code order.  The engine default; tests and the CLI use
 #: this list, and docs/ANALYSIS.md documents exactly these codes.
 ALL_RULES: Sequence[Type[RuleVisitor]] = (
@@ -381,6 +446,7 @@ ALL_RULES: Sequence[Type[RuleVisitor]] = (
     BufferBypassRule,
     NondeterminismRule,
     TransportRule,
+    LanguagePurityRule,
 )
 
 #: code -> rule class, for documentation and the meta-test.

@@ -11,7 +11,14 @@ Commands
     Build a DESKS index over a POI CSV and save it to a directory.
 ``query``
     Answer one direction-aware query, building the index on the fly from
-    a CSV or loading a saved one with ``--index``.
+    a CSV or loading a saved one with ``--index``.  Queries come either
+    from flags (``-x -y --keywords ...``) or from DQL statements
+    (:mod:`repro.lang`): ``-e "SELECT 5 NEAR (10.0, 20.0) MATCHING
+    'cafe'"`` executes statements, ``--repl`` reads them from stdin, and
+    ``--transport socket`` runs them against an in-process
+    :class:`~repro.net.ShardServer` across a real loopback socket.
+    ``--json`` emits the uniform result envelope; ``--metrics-json``
+    snapshots the backend's ``SHOW METRICS`` table.
 ``explain``
     ``EXPLAIN ANALYZE`` one query: the plan (quadrant decomposition,
     armed pruning lemmas), the span tree of what actually ran, and a
@@ -115,6 +122,26 @@ def build_parser() -> argparse.ArgumentParser:
     p_query = sub.add_parser(
         "query", help="answer one query over a CSV or saved index")
     _add_query_args(p_query)
+    p_query.add_argument("-e", "--statement", action="append",
+                         metavar="DQL", default=None,
+                         help="execute a DQL statement (repeatable; "
+                              "see docs/LANG.md for the grammar)")
+    p_query.add_argument("--repl", action="store_true",
+                         help="read DQL statements from stdin "
+                              "(interactive when stdin is a tty)")
+    p_query.add_argument("--transport", choices=["inproc", "socket"],
+                         default="inproc",
+                         help="inproc: a local query engine; socket: an "
+                              "in-process ShardServer over a real "
+                              "loopback socket")
+    p_query.add_argument("--json", action="store_true",
+                         help="emit results as JSON instead of text")
+    p_query.add_argument("--metrics-json", metavar="PATH", default=None,
+                         help="write the backend's SHOW METRICS table "
+                              "to PATH as JSON")
+    p_query.add_argument("--timeout-ms", type=float, default=None,
+                         help="deadline applied to every statement "
+                              "(flag-built queries included)")
 
     p_explain = sub.add_parser(
         "explain", help="EXPLAIN ANALYZE one query: plan, span tree, "
@@ -306,13 +333,13 @@ def _add_query_args(p: argparse.ArgumentParser) -> None:
                                  "a saved index directory")
     p.add_argument("--index", action="store_true",
                    help="treat input as a saved index directory")
-    p.add_argument("-x", type=float, required=True)
-    p.add_argument("-y", type=float, required=True)
+    p.add_argument("-x", type=float, default=None)
+    p.add_argument("-y", type=float, default=None)
     p.add_argument("--alpha", type=float, default=0.0,
                    help="lower direction bound in degrees")
     p.add_argument("--beta", type=float, default=360.0,
                    help="upper direction bound in degrees")
-    p.add_argument("--keywords", nargs="+", required=True)
+    p.add_argument("--keywords", nargs="+", default=None)
     p.add_argument("-k", type=int, default=10)
     p.add_argument("--mode", choices=["R", "D", "RD"], default="RD")
     p.add_argument("--match-any", action="store_true",
@@ -332,6 +359,13 @@ def _load_query_target(args: argparse.Namespace) -> DesksIndex:
 
 def _parse_query(args: argparse.Namespace) -> DirectionalQuery:
     """Build the DirectionalQuery a query-style command describes."""
+    missing = [name for name, value in (("-x", args.x), ("-y", args.y),
+                                        ("--keywords", args.keywords))
+               if value is None]
+    if missing:
+        raise ValueError(
+            f"{', '.join(missing)} required (or use -e/--repl with a DQL "
+            "statement)")
     mode = MatchMode.ANY if args.match_any else MatchMode.ALL
     return DirectionalQuery.make(
         args.x, args.y, math.radians(args.alpha), math.radians(args.beta),
@@ -371,6 +405,8 @@ def _cmd_build(args: argparse.Namespace) -> int:
 
 
 def _cmd_query(args: argparse.Namespace) -> int:
+    if args.statement or args.repl or args.json or args.metrics_json:
+        return _cmd_query_dql(args)
     started = time.perf_counter()
     index = _load_query_target(args)
     collection = index.collection
@@ -397,6 +433,113 @@ def _cmd_query(args: argparse.Namespace) -> int:
         print(f"{rank:3}. poi#{entry.poi_id:<8} dist={entry.distance:10.2f}"
               f"  bearing={bearing:6.1f} deg  "
               f"{' '.join(sorted(poi.keywords)[:6])}")
+    return 0
+
+
+def _query_backend(args: argparse.Namespace, index):
+    """The DQL backend named by ``--transport``, plus its closer.
+
+    ``inproc`` wraps the index in a :class:`~repro.service.QueryEngine`
+    (so ``TIMEOUT``/``SHOW METRICS`` mean something); ``socket`` starts
+    an in-process :class:`~repro.net.ShardServer` and drives it through
+    a pooled client over a real loopback socket — every statement then
+    exercises the full wire path.
+    """
+    from .lang import EngineBackend, SocketBackend
+
+    if args.transport == "socket":
+        from .net import RemoteShardClient, ShardServer
+
+        server = ShardServer(index, num_workers=2).start()
+        client = RemoteShardClient(server.address)
+
+        def close() -> None:
+            client.close()
+            server.stop()
+
+        return SocketBackend(client), close
+    from .service import QueryEngine
+
+    engine = QueryEngine(index, num_workers=2)
+    return EngineBackend(engine), engine.close
+
+
+def _cmd_query_dql(args: argparse.Namespace) -> int:
+    """The DQL side of ``repro query``: ``-e``, ``--repl``, ``--json``."""
+    import json
+
+    from .lang import DqlError, DqlExecutor, DqlSyntaxError, plan_from_query
+
+    timeout = (args.timeout_ms / 1000.0
+               if args.timeout_ms is not None else None)
+    statements: List[object] = list(args.statement or [])
+    if not statements and not args.repl:
+        # Flag-built query routed through the language layer so --json
+        # and --metrics-json get the same envelope as -e statements.
+        statements = [plan_from_query(_parse_query(args),
+                                      mode=PruningMode[args.mode])]
+    index = _load_query_target(args)
+    backend, close = _query_backend(args, index)
+    executor = DqlExecutor(backend)
+    exit_code = 0
+    outcomes = []
+    try:
+        for statement in statements:
+            try:
+                outcomes.append(executor.execute(statement, timeout))
+            except DqlSyntaxError as exc:
+                print(exc.render(), file=sys.stderr)
+                return 2
+            except DqlError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 1
+        if args.repl:
+            exit_code = _run_repl(executor, timeout)
+        if args.json:
+            print(json.dumps([outcome.to_dict() for outcome in outcomes],
+                             indent=2, sort_keys=True))
+        else:
+            for outcome in outcomes:
+                print(outcome.render())
+        if args.metrics_json:
+            _write_metrics_json(executor.execute("SHOW METRICS").table,
+                                args.metrics_json)
+    finally:
+        close()
+    return exit_code
+
+
+def _run_repl(executor, timeout: Optional[float]) -> int:
+    """Read DQL statements from stdin until EOF or ``EXIT``.
+
+    Output is history-free and timing-free: each statement's outcome
+    renders deterministically (errors included, on stdout), so a CLI
+    test can pipe a script in and golden-file what comes out.  The
+    prompt is written only when stdin is a tty.
+    """
+    from .lang import DqlError, DqlSyntaxError
+
+    interactive = sys.stdin.isatty()
+    if interactive:
+        print("DQL — SELECT/EXPLAIN/SHOW; EXIT (or EOF) to leave")
+    while True:
+        if interactive:
+            sys.stdout.write("dql> ")
+            sys.stdout.flush()
+        line = sys.stdin.readline()
+        if not line:
+            break
+        line = line.strip()
+        if not line or line.startswith("--"):
+            continue
+        if line.upper() in ("EXIT", "QUIT"):
+            break
+        try:
+            print(executor.execute(line, timeout).render())
+        except DqlSyntaxError as exc:
+            print(exc.render())
+        except DqlError as exc:
+            print(f"error: {exc}")
     return 0
 
 

@@ -1,0 +1,69 @@
+"""Typed, position-annotated errors for the DQL front end.
+
+Every failure mode of :func:`repro.lang.parse` — lexical garbage, a
+grammar violation, or a statement that parses but describes an invalid
+plan (``SELECT 0 ...``, keywords that canonicalize to nothing) — raises
+:class:`DqlSyntaxError` carrying the offending statement and a 0-based
+character position, and *nothing else*: the parser robustness suite
+feeds random token soup, truncations, and unicode at the parser and
+asserts no other exception type ever escapes.
+
+The caret rendering (:meth:`DqlSyntaxError.render`) is what the CLI and
+the network servers show; keeping it on the exception means every
+surface (REPL, ``-e``, the wire's ``BAD_REQUEST`` payload) reports the
+same thing.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class DqlError(ValueError):
+    """Base class for every error raised by :mod:`repro.lang`."""
+
+
+class DqlSyntaxError(DqlError):
+    """A DQL statement could not be parsed into a valid plan.
+
+    ``statement`` is the raw input, ``position`` the 0-based character
+    offset of the offending token (or of end-of-input for truncations).
+    """
+
+    def __init__(self, message: str, statement: str = "",
+                 position: int = 0) -> None:
+        self.reason = message
+        self.statement = statement
+        self.position = max(0, min(position, len(statement)))
+        super().__init__(f"{message} (at position {self.position})")
+
+    def render(self) -> str:
+        """The statement with a caret under the offending position.
+
+        >>> err = DqlSyntaxError("expected NEAR", "SELECT 5 NEATS", 9)
+        >>> print(err.render())
+        SELECT 5 NEATS
+                 ^
+        expected NEAR (at position 9)
+        """
+        lines = []
+        if self.statement:
+            lines.append(self.statement)
+            lines.append(" " * self.position + "^")
+        lines.append(str(self))
+        return "\n".join(lines)
+
+
+class DqlExecutionError(DqlError):
+    """A valid plan could not be executed by the bound backend.
+
+    Raised by the executor when a statement asks a backend for something
+    it cannot provide (e.g. ``SHOW SHARDS`` against a backend with no
+    shard layout is fine — it reports the single pseudo-shard — but a
+    remote backend relaying a typed server error surfaces it here).
+    """
+
+    def __init__(self, message: str,
+                 statement: Optional[str] = None) -> None:
+        self.statement = statement
+        super().__init__(message)

@@ -1,0 +1,98 @@
+"""Hand-rolled tokenizer for DQL statements.
+
+The token stream is deliberately tiny — bare words, numbers, quoted
+strings, and four bits of punctuation — and every token carries the
+0-based character position it started at, so the parser (and the plan
+validator behind it) can point at the exact offending character when it
+raises :class:`~repro.lang.DqlSyntaxError`.
+
+Bare words are case-insensitive: ``select``, ``Select`` and ``SELECT``
+produce the same ``WORD`` token text (upper-cased).  Quoted strings keep
+their contents verbatim (keyword canonicalization happens in the plan
+layer, via :mod:`repro.text`, not here).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import List
+
+from .errors import DqlSyntaxError
+
+#: Token kinds produced by :func:`tokenize_statement`.
+WORD = "WORD"
+NUMBER = "NUMBER"
+STRING = "STRING"
+PUNCT = "PUNCT"
+END = "END"
+
+_WS = re.compile(r"\s+")
+#: Numbers accept everything ``repr(float)`` emits for finite values
+#: (``10``, ``-3.5``, ``1e-05``, ``6.283185307179586``) so that a
+#: rendered plan always re-lexes exactly.
+_NUMBER = re.compile(r"[+-]?(?:\d+\.?\d*|\.\d+)(?:[eE][+-]?\d+)?")
+#: Bare words are ASCII identifiers; anything fancier belongs in quotes.
+_WORD = re.compile(r"[A-Za-z_][A-Za-z0-9_]*")
+
+_PUNCTUATION = "()[],"
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical unit: kind, source text, and start position."""
+
+    kind: str
+    text: str
+    pos: int
+
+    @property
+    def number(self) -> float:
+        """The numeric value of a ``NUMBER`` token."""
+        return float(self.text)
+
+
+def tokenize_statement(statement: str) -> List[Token]:
+    """Split ``statement`` into tokens, ending with one ``END`` token.
+
+    Raises :class:`~repro.lang.DqlSyntaxError` (never anything else) on
+    characters outside the language — an unterminated quote, a stray
+    ``;``, or any non-ASCII byte outside a quoted string.
+    """
+    tokens: List[Token] = []
+    pos = 0
+    length = len(statement)
+    while pos < length:
+        ws = _WS.match(statement, pos)
+        if ws:
+            pos = ws.end()
+            continue
+        char = statement[pos]
+        if char in _PUNCTUATION:
+            tokens.append(Token(PUNCT, char, pos))
+            pos += 1
+            continue
+        if char in "'\"":
+            closing = statement.find(char, pos + 1)
+            if closing < 0:
+                raise DqlSyntaxError("unterminated string literal",
+                                     statement, pos)
+            tokens.append(Token(STRING, statement[pos + 1:closing], pos))
+            pos = closing + 1
+            continue
+        number = _NUMBER.match(statement, pos)
+        if number and not _WORD.match(statement, pos):
+            # A word match wins so `e5` lexes as a word, not an exponent
+            # fragment; a leading digit always means a number.
+            tokens.append(Token(NUMBER, number.group(), pos))
+            pos = number.end()
+            continue
+        word = _WORD.match(statement, pos)
+        if word:
+            tokens.append(Token(WORD, word.group().upper(), pos))
+            pos = word.end()
+            continue
+        raise DqlSyntaxError(f"unexpected character {char!r}",
+                             statement, pos)
+    tokens.append(Token(END, "", length))
+    return tokens

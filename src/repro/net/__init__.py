@@ -57,6 +57,7 @@ from .protocol import (
     OverloadError,
     ProtocolError,
     RemoteSearchResult,
+    RemoteStatementResult,
     RpcError,
     TruncatedFrame,
     VersionMismatch,
@@ -84,6 +85,7 @@ __all__ = [
     "RemoteReplicaSet",
     "RemoteSearchResult",
     "RemoteShardClient",
+    "RemoteStatementResult",
     "RpcError",
     "ServerProcess",
     "ShardServer",

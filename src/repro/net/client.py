@@ -185,6 +185,24 @@ class RemoteShardClient:
         payload = self._expect(frame, MessageType.SEARCH_RESPONSE, timeout)
         return protocol.decode_search_response(payload)
 
+    def execute_statement(self, statement: str,
+                          budget: Optional[float] = None,
+                          ) -> "protocol.RemoteStatementResult":
+        """Execute one DQL statement remotely; decode its typed outcome.
+
+        The server parses, plans, and executes; a statement the server
+        cannot parse comes back as :class:`~repro.net.protocol.RpcError`
+        (``BAD_REQUEST``) whose message carries the caret rendering.
+        """
+        timeout = (self.request_timeout if budget is None
+                   else budget + self.deadline_grace)
+        frame = protocol.encode_frame(
+            MessageType.STATEMENT_REQUEST,
+            protocol.encode_statement_request(statement, budget))
+        payload = self._expect(frame, MessageType.STATEMENT_RESPONSE,
+                               timeout)
+        return protocol.decode_statement_response(payload)
+
     def health(self, timeout: float = 5.0) -> HealthReport:
         """Probe the server's health endpoint."""
         frame = protocol.encode_frame(MessageType.HEALTH_REQUEST)

@@ -28,6 +28,7 @@ from typing import Optional, Tuple
 
 from ..cluster import ShardRouter
 from ..core import QueryResult
+from ..lang import DqlError, DqlExecutor, DqlSyntaxError, RouterBackend
 from ..service import MetricsRegistry
 from . import protocol
 from .protocol import ErrorCode, MessageType
@@ -56,6 +57,9 @@ class ClusterFrontend:
         self.address: Optional[Tuple[str, int]] = None
         self._executor = ThreadPoolExecutor(
             max_workers=num_workers, thread_name_prefix="desks-frontdoor")
+        # Text statements run the same scatter-gather as binary frames;
+        # the executor seam (repro.lang) is what makes that one line.
+        self._statements = DqlExecutor(RouterBackend(router))
         # Touched only on the event loop thread, so a plain counter is
         # race-free; admission must not await (a queued acquire *is* the
         # unbounded queue this class exists to prevent).
@@ -172,6 +176,8 @@ class ClusterFrontend:
                 return self._handle_health()
             if msg_type is MessageType.STATS_REQUEST:
                 return self._handle_stats()
+            if msg_type is MessageType.STATEMENT_REQUEST:
+                return await self._handle_statement(payload)
         except protocol.ProtocolError as exc:
             self.metrics.counter("net_protocol_errors_total").increment()
             return protocol.encode_frame(
@@ -223,6 +229,51 @@ class ClusterFrontend:
                 server_latency=response.latency_seconds,
                 degraded=response.degraded,
                 failure_cause=failure_cause))
+
+    async def _handle_statement(self, payload: bytes) -> bytes:
+        """Parse and execute one DQL statement frame off the event loop.
+
+        Statements share the search path's admission control (parsing is
+        microseconds, but a ``SELECT``/``EXPLAIN`` is a full scatter-
+        gather) and run on the worker pool via ``run_in_executor`` so the
+        loop never blocks.  Parse failures answer ``BAD_REQUEST`` with
+        the caret rendering; ``EXPLAIN`` here is plan-only (the router
+        cannot reconcile spans across shard processes).
+        """
+        statement, budget = protocol.decode_statement_request(payload)
+        self.metrics.counter("net_frontend_statements_total").increment()
+        if budget is None:
+            budget = self.default_timeout
+        if self._active >= self.max_inflight:
+            self.metrics.counter("net_overload_total").increment()
+            return protocol.encode_frame(
+                MessageType.ERROR,
+                protocol.encode_error(
+                    ErrorCode.OVERLOAD,
+                    f"front door at its {self.max_inflight} in-flight "
+                    "search limit"))
+        self._active += 1
+        try:
+            outcome = await asyncio.get_running_loop().run_in_executor(
+                self._executor, self._statements.execute, statement,
+                budget)
+        except DqlSyntaxError as exc:
+            self.metrics.counter(
+                "net_frontend_statement_errors_total").increment()
+            return protocol.encode_frame(
+                MessageType.ERROR,
+                protocol.encode_error(ErrorCode.BAD_REQUEST, exc.render()))
+        except DqlError as exc:
+            self.metrics.counter(
+                "net_frontend_statement_errors_total").increment()
+            return protocol.encode_frame(
+                MessageType.ERROR,
+                protocol.encode_error(ErrorCode.INTERNAL, str(exc)))
+        finally:
+            self._active -= 1
+        return protocol.encode_frame(
+            MessageType.STATEMENT_RESPONSE,
+            protocol.encode_statement_outcome(outcome))
 
     def _handle_health(self) -> bytes:
         report = protocol.HealthReport(

@@ -27,6 +27,11 @@ bit-exactly for the cluster's answers to equal the unsharded index's):
   partial/cached/degraded flags, the data generation, server-side
   latency, and the :class:`~repro.storage.SearchStats` counters;
 * health and stats payloads for probes and scraping;
+* :func:`encode_statement_request` — a DQL statement (:mod:`repro.lang`)
+  as opaque text plus the same deadline budget, answered by a
+  :func:`encode_statement_response` frame that nests the existing search
+  or stats payloads so the text path can never drift from the binary
+  one;
 * :func:`encode_error` — a typed :class:`ErrorCode` (``OVERLOAD``,
   ``BAD_REQUEST``, ...) plus a human message; ``OVERLOAD`` is how a
   loaded server sheds work instead of queueing it unboundedly.
@@ -83,6 +88,8 @@ class MessageType(IntEnum):
     STATS_REQUEST = 5
     STATS_RESPONSE = 6
     ERROR = 7
+    STATEMENT_REQUEST = 9
+    STATEMENT_RESPONSE = 10
 
 
 class ErrorCode(IntEnum):
@@ -462,6 +469,155 @@ def decode_stats_response(payload: bytes) -> dict:
     return out
 
 
+# -- statements --------------------------------------------------------------
+
+#: ``kind`` codes inside a :attr:`MessageType.STATEMENT_RESPONSE` frame.
+_STMT_SEARCH = 1
+_STMT_TABLE = 2
+_STMT_TEXT = 3
+
+_STMT_KIND_NAMES = {_STMT_SEARCH: "search", _STMT_TABLE: "table",
+                    _STMT_TEXT: "text"}
+
+
+def _pack_long_str(value: str) -> bytes:
+    """A u32-length-prefixed UTF-8 string (EXPLAIN reports beat 64 KiB)."""
+    blob = value.encode("utf-8")
+    return _U32.pack(len(blob)) + blob
+
+
+def _take_long_str(reader: _Reader) -> str:
+    (length,) = reader.unpack(_U32)
+    try:
+        return reader.take(length).decode("utf-8")
+    except UnicodeDecodeError as exc:
+        raise ProtocolError(f"invalid UTF-8 in text field: {exc}") \
+            from None
+
+
+@dataclass
+class RemoteStatementResult:
+    """A decoded statement response: the canonical text plus one payload.
+
+    Exactly one of ``search``/``table``/``text`` is populated, matching
+    ``kind`` (``"search"``/``"table"``/``"text"`` — a ``SELECT`` answer,
+    a ``SHOW`` table, or an ``EXPLAIN`` report).  ``statement`` is the
+    *server's* canonical rendering of what it executed, so a client can
+    verify the statement survived the wire intact.
+    """
+
+    statement: str
+    kind: str
+    search: Optional[RemoteSearchResult] = None
+    table: Optional[dict] = None
+    text: Optional[str] = None
+
+
+def encode_statement_request(statement: str,
+                             budget: Optional[float] = None) -> bytes:
+    """Encode one DQL statement plus its remaining deadline budget.
+
+    The budget carries the same semantics as
+    :func:`encode_search_request`: remaining seconds at send time, with
+    ``None``/``inf`` meaning unbounded.  The statement itself is opaque
+    text here — the *server* parses it, so client and server can
+    disagree about grammar versions and still fail with a typed,
+    caret-annotated ``BAD_REQUEST`` instead of a misparse.
+    """
+    if budget is None or math.isinf(budget):
+        wire_budget = _UNBOUNDED_BUDGET
+    elif budget < 0.0:
+        wire_budget = 0.0
+    else:
+        wire_budget = budget
+    return _pack_long_str(statement) + _F64.pack(wire_budget)
+
+
+def decode_statement_request(payload: bytes,
+                             ) -> Tuple[str, Optional[float]]:
+    """Decode :func:`encode_statement_request` → (statement, budget)."""
+    reader = _Reader(payload)
+    statement = _take_long_str(reader)
+    (wire_budget,) = reader.unpack(_F64)
+    reader.done()
+    budget = None if wire_budget < 0.0 else wire_budget
+    return statement, budget
+
+
+def encode_statement_response(statement: str, kind: str, *,
+                              search: Optional[bytes] = None,
+                              table: Optional[dict] = None,
+                              text: Optional[str] = None) -> bytes:
+    """Encode one statement outcome.
+
+    ``kind`` selects the body: ``"search"`` nests a complete
+    :func:`encode_search_response` payload (``search``), ``"table"``
+    nests :func:`encode_stats_response` (``table``), ``"text"`` carries
+    a u32-prefixed UTF-8 report (``text``).  Nesting the existing
+    payloads means a statement answer can never drift from what the
+    binary query path would have said.
+    """
+    parts = [_pack_long_str(statement)]
+    if kind == "search":
+        if search is None:
+            raise ProtocolError("search statement response without a "
+                                "nested search payload")
+        parts.append(bytes([_STMT_SEARCH]))
+        parts.append(search)
+    elif kind == "table":
+        parts.append(bytes([_STMT_TABLE]))
+        parts.append(encode_stats_response(table or {}))
+    elif kind == "text":
+        parts.append(bytes([_STMT_TEXT]))
+        parts.append(_pack_long_str(text or ""))
+    else:
+        raise ProtocolError(f"unknown statement outcome kind {kind!r}")
+    return b"".join(parts)
+
+
+def encode_statement_outcome(outcome) -> bytes:
+    """Encode a ``repro.lang.StatementOutcome``-shaped object (duck-typed).
+
+    Shared by the shard server and the cluster front door so both
+    surfaces answer statement frames identically; taking the envelope by
+    duck type keeps this module import-free of :mod:`repro.lang`.
+    """
+    if outcome.kind == "search":
+        search = encode_search_response(
+            QueryResult(list(outcome.entries), partial=outcome.partial),
+            cached=outcome.cached,
+            generation=outcome.generation,
+            server_latency=outcome.latency_seconds)
+        return encode_statement_response(outcome.statement, "search",
+                                         search=search)
+    if outcome.kind == "table":
+        return encode_statement_response(outcome.statement, "table",
+                                         table=outcome.table)
+    return encode_statement_response(outcome.statement, "text",
+                                     text=outcome.text)
+
+
+def decode_statement_response(payload: bytes) -> RemoteStatementResult:
+    """Decode :func:`encode_statement_response`."""
+    reader = _Reader(payload)
+    statement = _take_long_str(reader)
+    raw_kind = reader.take(1)[0]
+    kind = _STMT_KIND_NAMES.get(raw_kind)
+    if kind is None:
+        raise ProtocolError(f"unknown statement outcome kind {raw_kind}")
+    tail = reader.data[reader.pos:]
+    if kind == "search":
+        return RemoteStatementResult(
+            statement, kind, search=decode_search_response(tail))
+    if kind == "table":
+        return RemoteStatementResult(
+            statement, kind, table=decode_stats_response(tail))
+    inner = _Reader(tail)
+    text = _take_long_str(inner)
+    inner.done()
+    return RemoteStatementResult(statement, kind, text=text)
+
+
 # -- errors ------------------------------------------------------------------
 
 
@@ -496,5 +652,9 @@ __all__ = [
     "RemoteSearchResult", "HealthReport",
     "encode_health_response", "decode_health_response",
     "encode_stats_response", "decode_stats_response",
+    "RemoteStatementResult",
+    "encode_statement_request", "decode_statement_request",
+    "encode_statement_response", "decode_statement_response",
+    "encode_statement_outcome",
     "encode_error", "decode_error",
 ]

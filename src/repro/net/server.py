@@ -32,7 +32,21 @@ import time
 from typing import Optional, Union
 
 from ..analysis import make_lock
-from ..core import DesksIndex, MutableDesksIndex, PruningMode, load_index
+from ..core import (
+    DesksIndex,
+    MutableDesksIndex,
+    PruningMode,
+    QueryResult,
+    load_index,
+)
+from ..lang import (
+    DqlError,
+    DqlExecutor,
+    DqlSyntaxError,
+    EngineBackend,
+    ShowPlan,
+    parse,
+)
 from ..service import MetricsRegistry, QueryEngine
 from . import protocol
 from .protocol import ErrorCode, MessageType
@@ -81,6 +95,10 @@ class ShardServer:
             raise ValueError(f"max_inflight must be >= 1: {max_inflight}")
         self.max_inflight = max_inflight
         self._inflight = threading.BoundedSemaphore(max_inflight)
+        # Statement frames run through the same executor surface the CLI
+        # uses; binding it to the engine keeps the text path and the
+        # binary query path answer-identical (same cache, same deadline).
+        self._statements = DqlExecutor(EngineBackend(self.engine))
         self._started = time.monotonic()
         self._lock = make_lock("net.server")
         self._closed = False
@@ -231,6 +249,8 @@ class ShardServer:
                 return self._handle_health()
             if msg_type is MessageType.STATS_REQUEST:
                 return self._handle_stats()
+            if msg_type is MessageType.STATEMENT_REQUEST:
+                return self._handle_statement(payload)
         except protocol.ProtocolError as exc:
             self.metrics.counter("net_protocol_errors_total").increment()
             return protocol.encode_frame(
@@ -253,8 +273,6 @@ class ShardServer:
             # The caller's deadline was spent before the request arrived:
             # answer partial-and-empty *now* rather than queue work whose
             # answer nobody is waiting for.
-            from ..core import QueryResult
-
             self.metrics.counter("net_deadline_expired_total").increment()
             return protocol.encode_frame(
                 MessageType.SEARCH_RESPONSE,
@@ -283,6 +301,47 @@ class ShardServer:
                 stats=response.stats,
                 degraded=response.degraded,
                 failure_cause=response.failure_cause))
+
+    def _handle_statement(self, payload: bytes) -> bytes:
+        """Parse and execute one DQL statement frame.
+
+        Parse failures answer ``BAD_REQUEST`` carrying the caret
+        rendering (statement + ``^`` + reason) — the same text the local
+        CLI shows.  ``SELECT`` and ``EXPLAIN`` statements run a search,
+        so they sit under the same admission semaphore as binary search
+        frames; ``SHOW`` is cheap operator traffic and bypasses it.
+        """
+        statement, budget = protocol.decode_statement_request(payload)
+        self.metrics.counter("net_statements_total").increment()
+        try:
+            plan = parse(statement)
+        except DqlSyntaxError as exc:
+            self.metrics.counter("net_statement_errors_total").increment()
+            return protocol.encode_frame(
+                MessageType.ERROR,
+                protocol.encode_error(ErrorCode.BAD_REQUEST, exc.render()))
+        gated = not isinstance(plan, ShowPlan)
+        if gated and not self._inflight.acquire(blocking=False):
+            self.metrics.counter("net_overload_total").increment()
+            return protocol.encode_frame(
+                MessageType.ERROR,
+                protocol.encode_error(
+                    ErrorCode.OVERLOAD,
+                    f"shard {self.shard_id} at its {self.max_inflight} "
+                    "in-flight search limit"))
+        try:
+            outcome = self._statements.execute(plan, budget)
+        except DqlError as exc:
+            self.metrics.counter("net_statement_errors_total").increment()
+            return protocol.encode_frame(
+                MessageType.ERROR,
+                protocol.encode_error(ErrorCode.INTERNAL, str(exc)))
+        finally:
+            if gated:
+                self._inflight.release()
+        return protocol.encode_frame(
+            MessageType.STATEMENT_RESPONSE,
+            protocol.encode_statement_outcome(outcome))
 
     def _handle_health(self) -> bytes:
         report = protocol.HealthReport(

@@ -11,6 +11,7 @@ from repro.analysis.rules import (
     BareAcquireRule,
     BufferBypassRule,
     FloatEqualityRule,
+    LanguagePurityRule,
     NondeterminismRule,
     StrayFileWriteRule,
     TransportRule,
@@ -288,6 +289,66 @@ class TestTransport:
                      rules=self.RULE)
         assert active(found) == []
         assert [f.code for f in found if f.suppressed] == ["DAL007"]
+
+
+# -- DAL008: repro.lang dependency purity -------------------------------------
+
+
+class TestLanguagePurity:
+    RULE = [LanguagePurityRule]
+    LANG = "src/repro/lang/executor.py"
+
+    def test_absolute_import_of_service_fires(self):
+        found = lint("from repro.service import QueryEngine\n",
+                     path=self.LANG, rules=self.RULE)
+        assert codes(found) == ["DAL008"]
+        assert "repro.service" in found[0].message
+
+    def test_relative_import_of_cluster_fires(self):
+        found = lint("from ..cluster import ShardRouter\n",
+                     path=self.LANG, rules=self.RULE)
+        assert codes(found) == ["DAL008"]
+
+    def test_plain_import_of_net_fires(self):
+        found = lint("import repro.net.client\n",
+                     path=self.LANG, rules=self.RULE)
+        assert codes(found) == ["DAL008"]
+
+    def test_from_repro_import_package_fires(self):
+        for stmt in ("from repro import net\n", "from .. import service\n"):
+            assert codes(lint(stmt, path=self.LANG,
+                              rules=self.RULE)) == ["DAL008"], stmt
+
+    def test_allowed_dependencies_ok(self):
+        src = ("import math\n"
+               "from . import errors\n"
+               "from .plan import SelectPlan\n"
+               "from ..core import DesksSearcher\n"
+               "from ..geometry import DirectionInterval\n"
+               "from ..text import keyword_set\n"
+               "from ..trace import explain\n"
+               "from repro.core import ResultEntry\n")
+        assert lint(src, path=self.LANG, rules=self.RULE) == []
+
+    def test_silent_outside_repro_lang(self):
+        src = "from ..cluster import ShardRouter\n"
+        assert lint(src, path="src/repro/net/frontend.py",
+                    rules=self.RULE) == []
+
+    def test_lazy_function_local_import_still_fires(self):
+        src = ("def run():\n"
+               "    from ..net import RemoteShardClient\n"
+               "    return RemoteShardClient\n")
+        found = lint(src, path=self.LANG, rules=self.RULE)
+        assert codes(found) == ["DAL008"]
+        assert found[0].line == 2
+
+    def test_noqa_suppresses(self):
+        found = lint("from ..service import QueryEngine"
+                     "  # desks: noqa-DAL008\n",
+                     path=self.LANG, rules=self.RULE)
+        assert active(found) == []
+        assert [f.code for f in found if f.suppressed] == ["DAL008"]
 
 
 # -- engine plumbing ----------------------------------------------------------

@@ -314,3 +314,110 @@ class TestChaosBench:
         assert payload["ok"] is True
         assert payload["crash"]["identical"] == 4
         assert payload["corruption"]["silent_wrong"] == 0
+
+
+class TestDqlQuery:
+    STATEMENT = ("SELECT 3 NEAR (5000.0, 5000.0) HEADING [0 DEG, 360 DEG] "
+                 "MATCHING 'restaurant'")
+
+    def test_execute_statement(self, csv_path, capsys):
+        assert main(["query", str(csv_path), "-e", self.STATEMENT]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("-- SELECT 3 NEAR (5000.0, 5000.0)")
+        assert "rows: 3" in out
+        assert out.count("poi=") == 3
+
+    def test_inproc_and_socket_render_identically(self, csv_path, capsys):
+        assert main(["query", str(csv_path), "-e", self.STATEMENT,
+                     "--transport", "inproc"]) == 0
+        inproc = capsys.readouterr().out
+        assert main(["query", str(csv_path), "-e", self.STATEMENT,
+                     "--transport", "socket"]) == 0
+        socket_out = capsys.readouterr().out
+        assert inproc == socket_out
+
+    def test_json_envelope(self, csv_path, capsys):
+        import json
+
+        assert main(["query", str(csv_path), "--json",
+                     "-e", self.STATEMENT, "-e", "SHOW METRICS"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert [d["kind"] for d in data] == ["search", "table"]
+        assert len(data[0]["rows"]) == 3
+
+    def test_syntax_error_exits_2_with_caret(self, csv_path, capsys):
+        assert main(["query", str(csv_path), "-e", "SELEKT 1"]) == 2
+        err = capsys.readouterr().err
+        assert "SELEKT 1" in err
+        assert "^" in err
+
+    def test_metrics_json_written(self, csv_path, tmp_path, capsys):
+        import json
+
+        out_path = tmp_path / "dql_metrics.json"
+        assert main(["query", str(csv_path), "-e", self.STATEMENT,
+                     "--metrics-json", str(out_path)]) == 0
+        snapshot = json.loads(out_path.read_text())
+        assert snapshot["queries_total"] >= 1.0
+
+    def test_explain_statement(self, csv_path, capsys):
+        assert main(["query", str(csv_path),
+                     "-e", "EXPLAIN " + self.STATEMENT]) == 0
+        out = capsys.readouterr().out
+        assert "reconciliation (OK)" in out
+
+    def test_flag_query_with_json_uses_envelope(self, csv_path, capsys):
+        import json
+
+        assert main(["query", str(csv_path), "-x", "5000", "-y", "5000",
+                     "--alpha", "0", "--beta", "360",
+                     "--keywords", "restaurant", "-k", "3", "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data[0]["kind"] == "search"
+        assert len(data[0]["rows"]) == 3
+
+    def test_missing_flags_without_statement_exit_2(self, csv_path,
+                                                    capsys):
+        assert main(["query", str(csv_path)]) == 2
+        assert "-e/--repl" in capsys.readouterr().err
+
+
+class TestDqlRepl:
+    SCRIPT = ("-- a comment, skipped\n"
+              "\n"
+              "SELECT 2 NEAR (5000.0, 5000.0) MATCHING 'restaurant'\n"
+              "SELEKT nope\n"
+              "SHOW SHARDS\n"
+              "exit\n"
+              "SELECT 1 NEAR (0, 0) MATCHING 'never reached'\n")
+
+    def run_repl(self, csv_path, monkeypatch, capsys, *extra):
+        import io
+
+        monkeypatch.setattr("sys.stdin", io.StringIO(self.SCRIPT))
+        assert main(["query", str(csv_path), "--repl", *extra]) == 0
+        return capsys.readouterr().out
+
+    def test_repl_script_is_deterministic_golden(self, csv_path,
+                                                 monkeypatch, capsys):
+        first = self.run_repl(csv_path, monkeypatch, capsys)
+        second = self.run_repl(csv_path, monkeypatch, capsys)
+        assert first == second  # history-free, timing-free output
+        lines = first.splitlines()
+        # No prompt when stdin is not a tty; statements echo canonically.
+        assert lines[0] == \
+            "-- SELECT 2 NEAR (5000.0, 5000.0) MATCHING 'restaurant'"
+        assert lines[1] == "rows: 2"
+        # The parse error renders inline (stdout) and the REPL continues.
+        assert "SELEKT nope" in first
+        assert "^" in first
+        assert "shards.total = 1" in first
+        # EXIT stops the script before the last statement.
+        assert "never reached" not in first
+
+    def test_repl_over_socket_matches_inproc(self, csv_path, monkeypatch,
+                                             capsys):
+        inproc = self.run_repl(csv_path, monkeypatch, capsys)
+        socket_out = self.run_repl(csv_path, monkeypatch, capsys,
+                                   "--transport", "socket")
+        assert inproc == socket_out

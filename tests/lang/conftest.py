@@ -1,0 +1,41 @@
+"""Shared fixtures for the DQL language tests.
+
+One deterministic collection/index pair, reused module-wide: the parser
+tests don't need it, but the executor equivalence suite runs the same
+statements against a direct searcher, an in-process executor, and a
+socket server over this exact index.
+"""
+
+import random
+
+import pytest
+
+from repro.core import DesksIndex, DesksSearcher
+from repro.datasets import POI, POICollection
+
+KEYWORD_POOL = ["cafe", "food", "gas", "atm", "pizza", "bank", "hotel",
+                "park", "sushi", "museum"]
+
+
+def make_collection(n=400, seed=11, extent=1000.0):
+    rng = random.Random(seed)
+    return POICollection([
+        POI.make(i, rng.uniform(0, extent), rng.uniform(0, extent),
+                 rng.sample(KEYWORD_POOL, rng.randint(1, 3)))
+        for i in range(n)
+    ])
+
+
+@pytest.fixture(scope="module")
+def collection():
+    return make_collection()
+
+
+@pytest.fixture(scope="module")
+def index(collection):
+    return DesksIndex(collection, num_bands=4, num_wedges=6)
+
+
+@pytest.fixture(scope="module")
+def searcher(index):
+    return DesksSearcher(index)

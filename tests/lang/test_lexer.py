@@ -1,0 +1,78 @@
+"""Tokenizer unit tests: kinds, positions, and lexical failure modes."""
+
+import pytest
+
+from repro.lang import DqlSyntaxError, tokenize_statement
+from repro.lang.lexer import END, NUMBER, PUNCT, STRING, WORD
+
+
+def kinds(statement):
+    return [t.kind for t in tokenize_statement(statement)]
+
+
+def texts(statement):
+    return [t.text for t in tokenize_statement(statement)]
+
+
+class TestTokenKinds:
+    def test_words_upper_cased(self):
+        assert texts("select Near NEAR")[:3] == ["SELECT", "NEAR", "NEAR"]
+
+    def test_stream_ends_with_end_token(self):
+        tokens = tokenize_statement("SHOW METRICS")
+        assert tokens[-1].kind is END
+        assert tokens[-1].pos == len("SHOW METRICS")
+
+    def test_empty_statement_is_just_end(self):
+        assert kinds("") == [END]
+        assert kinds("   \t ") == [END]
+
+    def test_punctuation_split(self):
+        assert kinds("( 1 , 2 )") == [PUNCT, NUMBER, PUNCT, NUMBER, PUNCT,
+                                      END]
+        assert kinds("(1,2)") == [PUNCT, NUMBER, PUNCT, NUMBER, PUNCT, END]
+
+    def test_number_forms(self):
+        for text in ("10", "-3.5", "+7", ".25", "1e-05",
+                     "6.283185307179586", "2E6"):
+            tokens = tokenize_statement(text)
+            assert tokens[0].kind is NUMBER, text
+            assert tokens[0].number == float(text)
+
+    def test_word_beats_exponent_fragment(self):
+        # `e5` must lex as a word, not half a number.
+        tokens = tokenize_statement("e5")
+        assert tokens[0].kind is WORD
+        assert tokens[0].text == "E5"
+
+    def test_quoted_strings_verbatim(self):
+        tokens = tokenize_statement("MATCHING 'Sushi & Cafe'")
+        assert tokens[1].kind is STRING
+        assert tokens[1].text == "Sushi & Cafe"
+        assert tokenize_statement('MATCHING "x y"')[1].text == "x y"
+
+    def test_positions_are_source_offsets(self):
+        statement = "SELECT 5 NEAR"
+        tokens = tokenize_statement(statement)
+        assert [t.pos for t in tokens] == [0, 7, 9, len(statement)]
+
+
+class TestLexicalErrors:
+    def test_unterminated_string(self):
+        with pytest.raises(DqlSyntaxError) as info:
+            tokenize_statement("MATCHING 'cafe")
+        assert info.value.position == 9
+        assert "unterminated" in info.value.reason
+
+    def test_stray_character(self):
+        with pytest.raises(DqlSyntaxError) as info:
+            tokenize_statement("SELECT 5;")
+        assert info.value.position == 8
+
+    def test_error_renders_caret(self):
+        with pytest.raises(DqlSyntaxError) as info:
+            tokenize_statement("SELECT @")
+        rendered = info.value.render()
+        lines = rendered.splitlines()
+        assert lines[0] == "SELECT @"
+        assert lines[1] == "       ^"

@@ -120,3 +120,36 @@ def test_frontend_survives_garbage_frames(front_client, frontend,
     query = random_queries(random.Random(35), 1)[0]
     assert entries_of(front_client.search(query).result) == \
         entries_of(reference.search(query))
+
+
+def test_frontend_statement_equals_local(front_client, reference):
+    from repro.lang import plan_from_query
+
+    for query in random_queries(random.Random(43), 10):
+        remote = front_client.execute_statement(
+            plan_from_query(query).render())
+        assert remote.kind == "search"
+        assert entries_of(remote.search.result) == \
+            entries_of(reference.search(query))
+
+
+def test_frontend_statement_show_shards(front_client, router):
+    remote = front_client.execute_statement("SHOW SHARDS")
+    assert remote.kind == "table"
+    assert remote.table["shards.total"] == float(router.num_shards)
+
+
+def test_frontend_statement_explain_is_plan_only(front_client):
+    remote = front_client.execute_statement(
+        "EXPLAIN SELECT 3 NEAR (50.0, 50.0) MATCHING 'cafe'")
+    assert remote.kind == "text"
+    assert "cluster plan" in remote.text
+    assert "dispatch shard=" in remote.text
+
+
+def test_frontend_statement_parse_error_has_caret(front_client):
+    from repro.net import RpcError
+
+    with pytest.raises(RpcError) as info:
+        front_client.execute_statement("EXPLAIN SHOW METRICS")
+    assert "^" in str(info.value)

@@ -377,3 +377,111 @@ def test_error_round_trip_other_codes():
 def test_unknown_error_code_is_typed():
     with pytest.raises(ProtocolError):
         decode_error(b"\xfe" + b"\x00\x00")
+
+
+# -- statement frames (DQL over the wire) -------------------------------------
+
+
+def statement_codec():
+    from repro.net.protocol import (
+        decode_statement_request,
+        decode_statement_response,
+        encode_statement_request,
+        encode_statement_response,
+    )
+    return (encode_statement_request, decode_statement_request,
+            encode_statement_response, decode_statement_response)
+
+
+def test_statement_request_round_trip():
+    enc, dec, _, _ = statement_codec()
+    statement = "SELECT 5 NEAR (1.5, -2.5) MATCHING 'café'"
+    assert dec(enc(statement, 0.25)) == (statement, 0.25)
+
+
+@pytest.mark.parametrize("budget,expected",
+                         [(None, None), (math.inf, None), (1.5, 1.5),
+                          (0.0, 0.0)])
+def test_statement_budget_sentinel(budget, expected):
+    enc, dec, _, _ = statement_codec()
+    assert dec(enc("SHOW METRICS", budget))[1] == expected
+
+
+def test_statement_longer_than_u16_round_trips():
+    # Statements use the u32 long-string form, not the u16 _pack_str.
+    enc, dec, _, _ = statement_codec()
+    statement = "SELECT 1 NEAR (0, 0) MATCHING '" + "x " * 40000 + "'"
+    assert len(statement) > 0xFFFF
+    assert dec(enc(statement, None))[0] == statement
+
+
+def test_statement_search_response_nests_search_payload():
+    _, _, enc, dec = statement_codec()
+    result = QueryResult(
+        [ResultEntry(7, 1.25), ResultEntry(3, 2.5)], partial=True)
+    nested = encode_search_response(result, cached=True, generation=4,
+                                    server_latency=0.125)
+    remote = dec(enc("SELECT 2 NEAR (0.0, 0.0) MATCHING 'cafe'",
+                     "search", search=nested))
+    assert remote.kind == "search"
+    assert remote.search.cached is True
+    assert remote.search.generation == 4
+    assert [(e.poi_id, e.distance) for e in remote.search.result.entries] \
+        == [(7, 1.25), (3, 2.5)]
+    assert remote.search.result.partial is True
+
+
+def test_statement_table_response_round_trip():
+    _, _, enc, dec = statement_codec()
+    table = {"shards.total": 2.0, "shard.0.pois": 150.0}
+    remote = dec(enc("SHOW SHARDS", "table", table=table))
+    assert remote.kind == "table"
+    assert remote.table == table
+
+
+def test_statement_text_response_round_trip():
+    _, _, enc, dec = statement_codec()
+    report = "plan:\n  subquery quadrant=0\nreconciliation (OK)\n" * 100
+    remote = dec(enc("EXPLAIN SELECT ...", "text", text=report))
+    assert remote.kind == "text"
+    assert remote.text == report
+
+
+def test_statement_unknown_kind_byte_is_typed():
+    _, _, enc, dec = statement_codec()
+    blob = bytearray(enc("SHOW METRICS", "table", table={}))
+    kind_at = 4 + len("SHOW METRICS")  # u32 length prefix + text
+    assert blob[kind_at] == 2
+    blob[kind_at] = 0x7F
+    with pytest.raises(ProtocolError):
+        dec(bytes(blob))
+
+
+def test_statement_truncated_is_typed():
+    enc, dec, _, _ = statement_codec()
+    blob = enc("SELECT 1 NEAR (0, 0) MATCHING 'cafe'", 1.0)
+    for cut in (1, 3, 10, len(blob) - 1):
+        with pytest.raises(ProtocolError):
+            dec(blob[:cut])
+
+
+def test_statement_outcome_encoder_matches_response_encoder():
+    from repro.net.protocol import (
+        decode_statement_response,
+        encode_statement_outcome,
+    )
+
+    class Outcome:
+        statement = "SELECT 1 NEAR (0.0, 0.0) MATCHING 'cafe'"
+        kind = "search"
+        entries = (ResultEntry(9, 3.75),)
+        partial = False
+        cached = False
+        generation = 2
+        latency_seconds = 0.5
+
+    remote = decode_statement_response(encode_statement_outcome(Outcome()))
+    assert remote.statement == Outcome.statement
+    assert remote.search.generation == 2
+    assert [(e.poi_id, e.distance) for e in remote.search.result.entries] \
+        == [(9, 3.75)]

@@ -305,3 +305,43 @@ def test_all_replicas_down_raises_shard_unavailable(index):
             replicas.execute(query, timeout=1.0)
     finally:
         replicas.close()
+
+
+# -- DQL statement frames -----------------------------------------------------
+
+
+def test_statement_select_equals_binary_search(client, reference):
+    from repro.lang import plan_from_query
+
+    for query in random_queries(random.Random(41), 10):
+        remote = client.execute_statement(plan_from_query(query).render())
+        assert remote.kind == "search"
+        local = reference.search(query)
+        assert entries_of(remote.search.result) == entries_of(local)
+
+
+def test_statement_show_metrics(client):
+    remote = client.execute_statement("SHOW METRICS")
+    assert remote.kind == "table"
+    assert remote.table["queries_total"] >= 0.0
+
+
+def test_statement_explain_reconciles_remotely(client):
+    remote = client.execute_statement(
+        "EXPLAIN SELECT 3 NEAR (50.0, 50.0) HEADING [0.5, 2.0] "
+        "MATCHING 'cafe'")
+    assert remote.kind == "text"
+    assert "reconciliation (OK)" in remote.text
+
+
+def test_statement_parse_error_is_bad_request_with_caret(client):
+    with pytest.raises(RpcError) as info:
+        client.execute_statement("SELEKT 1 FROM nowhere")
+    assert not isinstance(info.value, OverloadError)
+    assert "^" in str(info.value)
+
+
+def test_statement_counts_in_server_metrics(server, client):
+    before = server.metrics.counter("net_statements_total").value
+    client.execute_statement("SHOW METRICS")
+    assert server.metrics.counter("net_statements_total").value > before
