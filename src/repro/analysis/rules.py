@@ -436,6 +436,63 @@ class LanguagePurityRule(RuleVisitor):
         self.generic_visit(node)
 
 
+class ChaosContainmentRule(RuleVisitor):
+    """DAL009: :mod:`repro.net.chaos` imported from production code."""
+
+    code = "DAL009"
+    summary = "repro.net.chaos imported outside the chaos module itself"
+    rationale = (
+        "repro.net.chaos is the fault injector: a TCP proxy that "
+        "corrupts, delays, resets, and blackholes traffic on purpose.  "
+        "It exists so tests and benchmarks can prove the client "
+        "resilience layer correct — and it must stay there.  An import "
+        "from any production module (server, client, frontend, router, "
+        "CLI) would put deliberate fault injection one config flag away "
+        "from live traffic; DAL007's socket allowance for repro.net "
+        "makes the proxy possible, this rule keeps it contained.  "
+        "Drive it from tests/ or benchmarks/ only.")
+
+    #: The module whose import is confined.
+    CHAOS = ("repro", "net", "chaos")
+
+    def _exempt(self) -> bool:
+        return self.ctx.module_path == "repro/net/chaos.py"
+
+    def _resolved(self, node: ast.ImportFrom) -> List[str]:
+        """The absolute ``repro/...`` parts a relative import targets."""
+        package = self.ctx.module_path.split("/")[:-1]
+        if node.level > 1:
+            package = package[:len(package) - (node.level - 1)]
+        return package + ((node.module or "").split(".")
+                          if node.module else [])
+
+    def _flag(self, node: ast.AST) -> None:
+        self.emit(node, "repro.net.chaos (the fault-injecting proxy) "
+                        "imported from production code; chaos tooling "
+                        "may only be driven from tests and benchmarks")
+
+    def visit_Import(self, node: ast.Import) -> None:
+        if not self._exempt():
+            for alias in node.names:
+                if tuple(alias.name.split(".")[:3]) == self.CHAOS:
+                    self._flag(node)
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if not self._exempt():
+            if node.level == 0:
+                parts = (node.module or "").split(".")
+            else:
+                parts = self._resolved(node)
+            if tuple(parts[:3]) == self.CHAOS:
+                self._flag(node)
+            elif tuple(parts) == ("repro", "net"):
+                for alias in node.names:
+                    if alias.name == "chaos":
+                        self._flag(node)
+        self.generic_visit(node)
+
+
 #: Every rule, in code order.  The engine default; tests and the CLI use
 #: this list, and docs/ANALYSIS.md documents exactly these codes.
 ALL_RULES: Sequence[Type[RuleVisitor]] = (
@@ -447,6 +504,7 @@ ALL_RULES: Sequence[Type[RuleVisitor]] = (
     NondeterminismRule,
     TransportRule,
     LanguagePurityRule,
+    ChaosContainmentRule,
 )
 
 #: code -> rule class, for documentation and the meta-test.

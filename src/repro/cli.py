@@ -287,6 +287,25 @@ def build_parser() -> argparse.ArgumentParser:
                              help="max shards dispatched per wave")
     p_net_serve.add_argument("--timeout-ms", type=float, default=None,
                              help="default per-query deadline")
+    p_net_serve.add_argument("--hedge-ms", type=float, default=None,
+                             help="hedge delay: fire a straggling "
+                                  "shard request at the next replica "
+                                  "after this many ms (default: off)")
+    p_net_serve.add_argument("--breaker-threshold", type=int, default=None,
+                             help="consecutive failures before a "
+                                  "replica's circuit opens (default: "
+                                  "the health threshold)")
+    p_net_serve.add_argument("--breaker-reset-ms", type=float,
+                             default=5000.0,
+                             help="ms an open circuit waits before a "
+                                  "half-open trial")
+    p_net_serve.add_argument("--retry-budget", type=float, default=10.0,
+                             help="retry token budget shared across "
+                                  "shards (failover + hedges)")
+    p_net_serve.add_argument("--probe-ms", type=float, default=2000.0,
+                             help="background health-probe interval "
+                                  "for unavailable replicas "
+                                  "(0: disable)")
 
     p_scrub = sub.add_parser(
         "scrub", help="verify a saved/durable directory's checksums")
@@ -845,10 +864,25 @@ def _cmd_shard_server(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
-    from .net import ClusterFrontend, ClusterLauncher, connect_router
+    from .net import (
+        ClusterFrontend,
+        ClusterLauncher,
+        HedgePolicy,
+        ResilienceConfig,
+        connect_router,
+    )
 
     timeout = (args.timeout_ms / 1000.0
                if args.timeout_ms is not None else None)
+    hedge = (HedgePolicy(delay=args.hedge_ms / 1000.0)
+             if args.hedge_ms is not None else None)
+    resilience = ResilienceConfig(
+        breaker_failure_threshold=args.breaker_threshold,
+        breaker_reset_timeout=args.breaker_reset_ms / 1000.0,
+        hedge=hedge,
+        retry_max_tokens=args.retry_budget,
+        probe_interval=(args.probe_ms / 1000.0 if args.probe_ms > 0
+                        else None))
     with ClusterLauncher(args.deployment, replication=args.replicas,
                          num_workers=args.shard_workers) as launcher:
         addresses = launcher.start()
@@ -857,7 +891,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                                for host, port in replica_addresses)
             print(f"shard {shard_id}: {listed}")
         with connect_router(args.deployment, addresses,
-                            max_fanout=args.fanout) as router, \
+                            max_fanout=args.fanout,
+                            resilience=resilience) as router, \
                 ClusterFrontend(router, host=args.host, port=args.port,
                                 max_inflight=args.max_inflight,
                                 num_workers=args.workers,

@@ -120,6 +120,17 @@ class ClusterResponse:
         return bool(self.failed_shards)
 
     @property
+    def unavailable_shards(self) -> Tuple[int, ...]:
+        """Lost shards as a sorted tuple: the typed brownout signal.
+
+        The frontend forwards this verbatim inside the wire response
+        (see :func:`repro.net.protocol.encode_search_response`) so a
+        remote client can tell *which* shards a partial answer is
+        missing, not merely that something was lost.
+        """
+        return tuple(sorted(self.failed_shards))
+
+    @property
     def pruning_rate(self) -> float:
         """Fraction of shards ruled out before dispatch (all causes)."""
         avoided = (self.shards_pruned + self.shards_keyword_pruned

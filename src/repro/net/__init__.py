@@ -23,7 +23,15 @@ ships traffic through:
 * :mod:`~repro.net.launcher` — :class:`ClusterLauncher` (spawn/probe/
   kill/stop server processes) and :func:`connect_router`;
 * :mod:`~repro.net.loadgen` — the closed-loop generator the network
-  benchmarks drive both transports with.
+  benchmarks drive both transports with;
+* :mod:`~repro.net.resilience` — the client-side resilience layer:
+  per-replica circuit breakers, the process-wide retry token budget,
+  and hedged-request policy that :class:`RemoteReplicaSet` executes;
+* :mod:`~repro.net.chaos` — the seeded fault-injecting TCP proxy the
+  acceptance suite drives all of the above with.  Deliberately *not*
+  re-exported here: lint rule DAL009 confines chaos imports to tests,
+  benchmarks, and tooling so fault injection can never reach a
+  production import path.
 
 This package is the only place in the tree allowed to touch raw
 ``socket``/``asyncio`` transport (lint rule DAL007) — every other layer
@@ -43,6 +51,14 @@ from .client import (
 from .frontend import ClusterFrontend
 from .launcher import ClusterLauncher, LaunchError, ServerProcess, connect_router
 from .loadgen import NetworkLoadReport, run_network_closed_loop
+from .resilience import (
+    BreakerOpenError,
+    BreakerState,
+    CircuitBreaker,
+    HedgePolicy,
+    ResilienceConfig,
+    RetryBudget,
+)
 from .protocol import (
     HEADER_SIZE,
     MAGIC,
@@ -67,10 +83,16 @@ from .server import ShardServer, load_shard, run_shard_server
 __all__ = [
     "Address",
     "BadMagic",
+    "BreakerOpenError",
+    "BreakerState",
     "ChecksumMismatch",
+    "CircuitBreaker",
     "ClusterFrontend",
     "ClusterLauncher",
     "ErrorCode",
+    "HedgePolicy",
+    "ResilienceConfig",
+    "RetryBudget",
     "FrameTooLarge",
     "HEADER_SIZE",
     "HealthReport",

@@ -4,28 +4,48 @@
 address over a small pool of persistent TCP connections — reconnect with
 exponential backoff, retry-once when a pooled (possibly stale) connection
 dies mid-request, socket timeouts derived from the request's deadline
-budget so a dead server can never hang a caller.
+budget so a dead server can never hang a caller.  Every failure is
+counted by kind (stale retry, truncation, reset, timeout, CRC) so the
+chaos suite can reconcile client-observed faults exactly against the
+:mod:`repro.net.chaos` proxy's injected-fault log.
 
 :class:`RemoteReplicaSet` stacks R clients (one per replica server) behind
 the *exact* surface :class:`~repro.cluster.ReplicaSet` exposes to
 :class:`~repro.cluster.ShardRouter` — ``execute(query, timeout) ->
 (response, retries)``, rotation over healthy replicas, sticky quarantine
 on degraded answers, :class:`~repro.cluster.ShardUnavailableError` when
-every replica fails — which is what lets the router's scatter-gather,
-pruning, and merge logic run unchanged over processes instead of threads.
+every replica fails — plus the resilience layer from
+:mod:`repro.net.resilience`: a per-replica circuit breaker (open circuits
+leave the attempt order entirely and are rediscovered by half-open trials
+or background health probes), a retry token budget charged for every
+failover or hedge attempt, and optional hedged requests (after a
+configurable delay the straggler's query is fired at the next available
+replica and the first answer wins).  ``execute`` is deadline-aware end to
+end: attempts carry the *remaining* budget and failover stops once the
+deadline expires, so no request ever outlives its budget plus one socket
+grace period.
 """
 
 from __future__ import annotations
 
+import concurrent.futures
 import socket
+import threading
 import time
 from typing import Callable, List, Optional, Sequence, Tuple
 
 from ..analysis import make_lock
 from ..core import DirectionalQuery
-from ..service import MetricsRegistry, ServiceResponse
+from ..service import Deadline, MetricsRegistry, ServiceResponse
 from . import protocol
 from .protocol import HealthReport, MessageType, RemoteSearchResult
+from .resilience import (
+    BreakerState,
+    CircuitBreaker,
+    HedgePolicy,
+    ResilienceConfig,
+    RetryBudget,
+)
 
 Address = Tuple[str, int]
 
@@ -46,7 +66,8 @@ class RemoteShardClient:
                  request_timeout: float = 30.0,
                  deadline_grace: float = 2.0,
                  connect_attempts: int = 3,
-                 backoff: float = 0.05) -> None:
+                 backoff: float = 0.05,
+                 metrics: Optional[MetricsRegistry] = None) -> None:
         if connect_attempts < 1:
             raise ValueError(
                 f"connect_attempts must be >= 1: {connect_attempts}")
@@ -59,10 +80,15 @@ class RemoteShardClient:
         self.deadline_grace = deadline_grace
         self.connect_attempts = connect_attempts
         self.backoff = backoff
+        self.metrics = metrics
         self._idle: List[socket.socket] = []
         self._lock = make_lock("net.client")
         self._closed = False
         self.reconnects = 0
+
+    def _count(self, name: str) -> None:
+        if self.metrics is not None:
+            self.metrics.counter(name).increment()
 
     # -- connection pool ----------------------------------------------------
 
@@ -81,6 +107,7 @@ class RemoteShardClient:
                 return conn
             except OSError as exc:
                 last = exc
+        self._count("net_client_connect_failures_total")
         raise TransportError(
             self.address,
             f"connect failed after {self.connect_attempts} attempts: {last}")
@@ -124,7 +151,9 @@ class RemoteShardClient:
         A pooled connection may have been closed by the server (restart,
         idle reap) since its last use — that failure mode is retried once
         on a fresh connection.  A fresh connection's failure is the
-        server's, and surfaces as :class:`TransportError`.
+        server's, and surfaces as :class:`TransportError`.  Each failure
+        kind increments its own ``net_client_*`` counter so injected
+        faults reconcile exactly with observed ones.
         """
         for _ in range(2):
             conn, reused = self._acquire()
@@ -136,22 +165,34 @@ class RemoteShardClient:
             except protocol.TruncatedFrame as exc:
                 _close_quietly(conn)
                 if reused:
+                    self._count("net_client_stale_retries_total")
                     continue
+                self._count("net_client_truncated_total")
                 raise TransportError(self.address, str(exc)) from None
             except socket.timeout:
                 _close_quietly(conn)
+                self._count("net_client_timeouts_total")
                 raise TransportError(
                     self.address,
                     f"no response within {timeout:.3f}s") from None
             except OSError as exc:
                 _close_quietly(conn)
                 if reused:
+                    self._count("net_client_stale_retries_total")
                     continue
+                self._count("net_client_reset_total")
                 raise TransportError(self.address, str(exc)) from None
+            except protocol.ChecksumMismatch:
+                # Corruption on the wire, caught by the CRC before any
+                # field was parsed; the connection is poisoned.
+                _close_quietly(conn)
+                self._count("net_client_crc_errors_total")
+                raise
             except protocol.ProtocolError:
                 # The stream is desynchronized or the peer is not a DESKS
                 # server; the connection is poisoned either way.
                 _close_quietly(conn)
+                self._count("net_client_protocol_errors_total")
                 raise
             self._release(conn)
             return msg_type, payload
@@ -239,11 +280,13 @@ class RemoteReplica:
     """One replica server address plus its client-side health state."""
 
     def __init__(self, shard_id: int, replica_id: int,
-                 client: RemoteShardClient, health_threshold: int) -> None:
+                 client: RemoteShardClient, health_threshold: int,
+                 breaker: Optional[CircuitBreaker] = None) -> None:
         self.shard_id = shard_id
         self.replica_id = replica_id
         self.client = client
         self.health_threshold = health_threshold
+        self.breaker = breaker
         self.healthy = True
         self.consecutive_failures = 0
         self.total_failures = 0
@@ -256,6 +299,8 @@ class RemoteReplica:
         with self._lock:
             self.consecutive_failures = 0
             self.healthy = True
+        if self.breaker is not None:
+            self.breaker.record_success()
 
     def mark_failure(self) -> None:
         """A request failed; ``health_threshold`` in a row → unhealthy."""
@@ -264,6 +309,8 @@ class RemoteReplica:
             self.total_failures += 1
             if self.consecutive_failures >= self.health_threshold:
                 self.healthy = False
+        if self.breaker is not None:
+            self.breaker.record_failure()
 
     def quarantine(self, cause: str) -> None:
         """Sticky exclusion after a degraded (corruption) answer."""
@@ -271,6 +318,16 @@ class RemoteReplica:
             self.quarantined = True
             self.quarantine_cause = cause
             self.healthy = False
+
+    @property
+    def breaker_open(self) -> bool:
+        """True while the circuit refuses attempts (OPEN, not yet due)."""
+        return (self.breaker is not None
+                and self.breaker.state is BreakerState.OPEN)
+
+    def try_acquire(self) -> bool:
+        """Gate one attempt through the breaker (always true without)."""
+        return self.breaker is None or self.breaker.try_acquire()
 
 
 class RemoteReplicaSet:
@@ -281,7 +338,9 @@ class RemoteReplicaSet:
     healthy-first failover order, same sticky quarantine on degraded
     answers, same :class:`~repro.cluster.ShardUnavailableError` when the
     whole shard is gone — except attempts cross process (and eventually
-    machine) boundaries instead of calling a local engine.
+    machine) boundaries, and the failover loop is governed by the
+    resilience layer (circuit breakers, retry tokens, hedging; see
+    :class:`~repro.net.resilience.ResilienceConfig`).
     """
 
     def __init__(self, shard_id: int, addresses: Sequence[Address],
@@ -289,7 +348,11 @@ class RemoteReplicaSet:
                  metrics: Optional[MetricsRegistry] = None,
                  request_timeout: float = 30.0,
                  client_factory: Optional[
-                     Callable[[Address], RemoteShardClient]] = None) -> None:
+                     Callable[[Address], RemoteShardClient]] = None,
+                 resilience: Optional[ResilienceConfig] = None,
+                 retry_budget: Optional[RetryBudget] = None,
+                 deadline_grace: float = 2.0,
+                 clock: Callable[[], float] = time.monotonic) -> None:
         if not addresses:
             raise ValueError(f"shard {shard_id} needs >= 1 server address")
         if health_threshold < 1:
@@ -298,29 +361,143 @@ class RemoteReplicaSet:
         if client_factory is None:
             def client_factory(address: Address) -> RemoteShardClient:
                 return RemoteShardClient(address,
-                                         request_timeout=request_timeout)
+                                         request_timeout=request_timeout,
+                                         deadline_grace=deadline_grace,
+                                         metrics=metrics)
         self.shard_id = shard_id
         self.metrics = metrics
+        self.config = resilience if resilience is not None \
+            else ResilienceConfig()
+        self._clock = clock
+        threshold = (self.config.breaker_failure_threshold
+                     if self.config.breaker_failure_threshold is not None
+                     else health_threshold)
+
+        def _breaker() -> Optional[CircuitBreaker]:
+            if not self.config.breaker_enabled:
+                return None
+            return CircuitBreaker(
+                failure_threshold=threshold,
+                reset_timeout=self.config.breaker_reset_timeout,
+                clock=clock,
+                on_transition=self._note_breaker_transition)
+
         self.replicas: List[RemoteReplica] = [
             RemoteReplica(shard_id, replica_id, client_factory(address),
-                          health_threshold)
+                          health_threshold, breaker=_breaker())
             for replica_id, address in enumerate(addresses)
         ]
+        if retry_budget is None:
+            retry_budget = RetryBudget(
+                max_tokens=self.config.retry_max_tokens,
+                earn_per_success=self.config.retry_earn_per_success)
+        self.retry_budget = retry_budget
         self._rotation = 0
+        self._pool: Optional[concurrent.futures.ThreadPoolExecutor] = None
+        self._probe_inflight = False
+        self._last_probe = clock()
         self._lock = make_lock("net.remote_replica_set")
 
     def __len__(self) -> int:
         return len(self.replicas)
 
-    def _attempt_order(self) -> List[RemoteReplica]:
-        """Healthy first from a rotating start; quarantined excluded."""
+    # -- metrics helpers -----------------------------------------------------
+
+    def _count(self, name: str) -> None:
+        if self.metrics is not None:
+            self.metrics.counter(name).increment()
+
+    def _note_breaker_transition(self, came_from: BreakerState,
+                                 to: BreakerState) -> None:
+        self._count(f"net_breaker_{to.value}_total")
+
+    def _note_tokens(self) -> None:
+        if self.metrics is not None:
+            self.metrics.gauge("net_retry_tokens").set(
+                self.retry_budget.tokens)
+
+    # -- attempt planning ----------------------------------------------------
+
+    def _attempt_plan(self) -> List[Tuple[RemoteReplica, bool]]:
+        """Failover order as ``(replica, last_resort)`` pairs.
+
+        Healthy first from a rotating start, breaker-open circuits
+        excluded, quarantined excluded always.  When *every* circuit is
+        open the whole rotation comes back flagged ``last_resort=True``
+        (attempted past the breaker): a shard must degrade to
+        :class:`~repro.cluster.ShardUnavailableError` through real
+        attempts, never wedge behind its own breakers.
+        """
         with self._lock:
             start = self._rotation
             self._rotation = (self._rotation + 1) % len(self.replicas)
         rotated = [r for r in (self.replicas[start:] + self.replicas[:start])
                    if not r.quarantined]
-        return ([r for r in rotated if r.healthy]
-                + [r for r in rotated if not r.healthy])
+        admitted = [r for r in rotated if not r.breaker_open]
+        ordered = ([r for r in admitted if r.healthy]
+                   + [r for r in admitted if not r.healthy])
+        if ordered:
+            return [(r, False) for r in ordered]
+        return [(r, True) for r in rotated]
+
+    def _spend_retry_token(self) -> bool:
+        """Charge one retry token; ``False`` means stop retrying."""
+        allowed = self.retry_budget.try_spend()
+        self._count("net_retry_tokens_spent_total" if allowed
+                    else "net_retries_denied_total")
+        self._note_tokens()
+        return allowed
+
+    # -- one attempt ---------------------------------------------------------
+
+    def _attempt(self, replica: RemoteReplica, query: DirectionalQuery,
+                 budget: Optional[float],
+                 ) -> Tuple[str, object]:
+        """One replica attempt with full health/metrics bookkeeping.
+
+        Returns ``("ok", ServiceResponse)``, ``("error", exception)``,
+        or ``("fatal", exception)`` — fatal means a deterministic
+        client-fault error (``BAD_REQUEST``) that must surface to the
+        caller immediately and never counts against replica health.
+        """
+        started = time.monotonic()
+        try:
+            remote = replica.client.search(query, budget=budget)
+        except protocol.RpcError as exc:
+            if (exc.code is protocol.ErrorCode.BAD_REQUEST
+                    and not isinstance(exc, protocol.OverloadError)):
+                # The request is malformed, not the replica: retrying it
+                # anywhere would fail identically, and marking health
+                # would let one bad query poison every replica.
+                return "fatal", exc
+            replica.mark_failure()
+            self._count("cluster_replica_failures_total")
+            return "error", exc
+        except (TransportError, protocol.ProtocolError) as exc:
+            replica.mark_failure()
+            self._count("cluster_replica_failures_total")
+            return "error", exc
+        if remote.degraded:
+            # The remote engine hit corruption and refused to answer:
+            # park this replica exactly as the in-process set would.
+            cause = remote.failure_cause or "degraded response"
+            replica.quarantine(cause)
+            self._count("cluster_replicas_quarantined_total")
+            return "error", RuntimeError(
+                f"replica {replica.replica_id} degraded: {cause}")
+        replica.mark_success()
+        self.retry_budget.record_success()
+        self._note_tokens()
+        response = ServiceResponse(
+            query=query,
+            result=remote.result,
+            cached=remote.cached,
+            generation=remote.generation,
+            latency_seconds=time.monotonic() - started,
+            stats=remote.stats)
+        return "ok", response
+
+    # -- the execute contract ------------------------------------------------
 
     def execute(self, query: DirectionalQuery,
                 timeout: Optional[float] = None,
@@ -329,46 +506,192 @@ class RemoteReplicaSet:
 
         Returns ``(response, retries)``; raises
         :class:`~repro.cluster.ShardUnavailableError` when every replica
-        fails (dead process, shed under overload, protocol violation).
+        fails (dead process, shed under overload, protocol violation),
+        when the retry budget refuses further attempts, or when the
+        deadline expires mid-failover.  With a hedge policy configured,
+        a straggling attempt is raced against the next available replica
+        and the first answer wins.
         """
+        self._maybe_kick_probe()
+        deadline = Deadline.from_timeout(timeout)
+        plan = self._attempt_plan()
+        if self.config.hedge is not None and len(self.replicas) > 1:
+            return self._execute_hedged(query, deadline, plan,
+                                        self.config.hedge)
+        return self._execute_sequential(query, deadline, plan)
+
+    def _execute_sequential(self, query: DirectionalQuery,
+                            deadline: Deadline,
+                            plan: List[Tuple[RemoteReplica, bool]],
+                            ) -> Tuple[ServiceResponse, int]:
         from ..cluster import ShardUnavailableError
 
         last_error: Optional[BaseException] = None
         attempts = 0
-        for replica in self._attempt_order():
+        for replica, last_resort in plan:
+            if deadline.expired():
+                break
+            if not last_resort and not replica.try_acquire():
+                continue
+            if attempts >= 1 and not self._spend_retry_token():
+                break
             attempts += 1
-            started = time.monotonic()
-            try:
-                remote = replica.client.search(query, budget=timeout)
-            except (TransportError, protocol.ProtocolError,
-                    protocol.RpcError) as exc:
-                replica.mark_failure()
-                last_error = exc
-                if self.metrics is not None:
-                    self.metrics.counter(
-                        "cluster_replica_failures_total").increment()
-                continue
-            if remote.degraded:
-                # The remote engine hit corruption and refused to answer:
-                # park this replica exactly as the in-process set would.
-                cause = remote.failure_cause or "degraded response"
-                replica.quarantine(cause)
-                if self.metrics is not None:
-                    self.metrics.counter(
-                        "cluster_replicas_quarantined_total").increment()
-                last_error = RuntimeError(
-                    f"replica {replica.replica_id} degraded: {cause}")
-                continue
-            replica.mark_success()
-            response = ServiceResponse(
-                query=query,
-                result=remote.result,
-                cached=remote.cached,
-                generation=remote.generation,
-                latency_seconds=time.monotonic() - started,
-                stats=remote.stats)
-            return response, attempts - 1
+            kind, value = self._attempt(replica, query, deadline.budget())
+            if kind == "ok":
+                return value, attempts - 1  # type: ignore[return-value]
+            if kind == "fatal":
+                raise value  # type: ignore[misc]
+            last_error = value  # type: ignore[assignment]
         raise ShardUnavailableError(self.shard_id, attempts, last_error)
+
+    def _execute_hedged(self, query: DirectionalQuery, deadline: Deadline,
+                        plan: List[Tuple[RemoteReplica, bool]],
+                        hedge: HedgePolicy,
+                        ) -> Tuple[ServiceResponse, int]:
+        from ..cluster import ShardUnavailableError
+
+        pool = self._executor()
+        queue = list(plan)
+        pending: dict = {}
+        attempts = 0
+        hedges_fired = 0
+        last_error: Optional[BaseException] = None
+
+        def launch(is_hedge: bool) -> bool:
+            nonlocal attempts, hedges_fired
+            while queue:
+                replica, last_resort = queue.pop(0)
+                if not last_resort and not replica.try_acquire():
+                    continue
+                if attempts >= 1 and not self._spend_retry_token():
+                    queue.clear()
+                    return False
+                attempts += 1
+                future = pool.submit(self._attempt, replica, query,
+                                     deadline.budget())
+                pending[future] = is_hedge
+                if is_hedge:
+                    hedges_fired += 1
+                    self._count("net_hedges_fired_total")
+                return True
+            return False
+
+        launch(False)
+        last_launch = time.monotonic()
+        try:
+            while pending:
+                if deadline.expired():
+                    break
+                waits = []
+                can_hedge = hedges_fired < hedge.max_hedges and bool(queue)
+                if can_hedge:
+                    waits.append(max(
+                        0.0,
+                        hedge.delay - (time.monotonic() - last_launch)))
+                if not deadline.is_unbounded:
+                    waits.append(deadline.remaining() + 0.05)
+                done, _ = concurrent.futures.wait(
+                    pending, timeout=min(waits) if waits else None,
+                    return_when=concurrent.futures.FIRST_COMPLETED)
+                if not done:
+                    if (can_hedge and
+                            time.monotonic() - last_launch >= hedge.delay):
+                        if launch(True):
+                            last_launch = time.monotonic()
+                    continue
+                for future in done:
+                    was_hedge = pending.pop(future)
+                    kind, value = future.result()
+                    if kind == "ok":
+                        if was_hedge:
+                            self._count("net_hedges_won_total")
+                        return value, attempts - 1
+                    if kind == "fatal":
+                        raise value
+                    last_error = value
+                if not pending and launch(False):
+                    last_launch = time.monotonic()
+        finally:
+            # First answer won (or the request failed): abandon the
+            # stragglers.  Queued attempts are cancelled outright; ones
+            # already on the wire run to completion in the pool and
+            # still record their health/breaker outcomes.
+            for future in pending:
+                future.cancel()
+        raise ShardUnavailableError(self.shard_id, attempts, last_error)
+
+    def _executor(self) -> concurrent.futures.ThreadPoolExecutor:
+        with self._lock:
+            if self._pool is None:
+                # Sized for straggler pile-up, not steady state: every
+                # abandoned hedge loser against a silent (blackholed)
+                # replica holds a worker until its socket timeout lands,
+                # and a saturated pool would starve *new* primary
+                # attempts.  Workers are created lazily, so the high cap
+                # costs nothing under healthy traffic.
+                self._pool = concurrent.futures.ThreadPoolExecutor(
+                    max_workers=max(32, 4 * len(self.replicas)),
+                    thread_name_prefix=f"hedge-shard{self.shard_id}")
+            return self._pool
+
+    # -- probe-based recovery ------------------------------------------------
+
+    def probe_unavailable(self, timeout: Optional[float] = None) -> List[int]:
+        """Health-probe every excluded replica; returns recovered ids.
+
+        A replica that answers its :meth:`RemoteShardClient.health` RPC
+        is marked successful — closing its breaker and restoring it to
+        healthy-first rotation — without waiting for an in-band request
+        to be risked against it.  Quarantined replicas stay parked.
+        """
+        timeout = self.config.probe_timeout if timeout is None else timeout
+        recovered: List[int] = []
+        for replica in self.replicas:
+            if replica.quarantined:
+                continue
+            state = (replica.breaker.state if replica.breaker is not None
+                     else BreakerState.CLOSED)
+            if replica.healthy and state is BreakerState.CLOSED:
+                continue
+            try:
+                ok = replica.client.health(timeout=timeout).ok
+            except (TransportError, protocol.ProtocolError,
+                    protocol.RpcError):
+                ok = False
+            if ok:
+                replica.mark_success()
+                self._count("net_probe_recoveries_total")
+                recovered.append(replica.replica_id)
+            else:
+                replica.mark_failure()
+        return recovered
+
+    def _maybe_kick_probe(self) -> None:
+        """Opportunistically probe unavailable replicas off-path."""
+        interval = self.config.probe_interval
+        if interval is None:
+            return
+        now = self._clock()
+        if not any(not r.quarantined and (not r.healthy or r.breaker_open)
+                   for r in self.replicas):
+            return
+        with self._lock:
+            if self._probe_inflight or now - self._last_probe < interval:
+                return
+            self._probe_inflight = True
+            self._last_probe = now
+        threading.Thread(target=self._probe_worker,
+                         name=f"probe-shard{self.shard_id}",
+                         daemon=True).start()
+
+    def _probe_worker(self) -> None:
+        try:
+            self.probe_unavailable()
+        finally:
+            with self._lock:
+                self._probe_inflight = False
+
+    # -- inspection / shutdown -----------------------------------------------
 
     def quarantined_replicas(self) -> List[int]:
         """Replica ids parked for corruption (sticky)."""
@@ -382,12 +705,18 @@ class RemoteReplicaSet:
                 "healthy": r.healthy,
                 "consecutive_failures": r.consecutive_failures,
                 "total_failures": r.total_failures,
+                "breaker": (r.breaker.state.value if r.breaker is not None
+                            else "disabled"),
                 "address": f"{r.client.address[0]}:{r.client.address[1]}",
             }
             for r in self.replicas
         ]
 
     def close(self) -> None:
-        """Close every replica's connection pool."""
+        """Close every replica's connection pool and the hedge pool."""
+        with self._lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=False, cancel_futures=True)
         for replica in self.replicas:
             replica.client.close()

@@ -220,15 +220,20 @@ class ClusterFrontend:
             self._active -= 1
         failure_cause = None
         if response.degraded:
+            # Brownout: answer with what the surviving shards produced,
+            # typed as a partial naming exactly which shards were lost,
+            # instead of failing the whole query.
             failure_cause = ("shards unavailable: "
                             + ",".join(map(str, response.failed_shards)))
+            self.metrics.counter("net_frontend_brownouts_total").increment()
         return protocol.encode_frame(
             MessageType.SEARCH_RESPONSE,
             protocol.encode_search_response(
                 response.result,
                 server_latency=response.latency_seconds,
                 degraded=response.degraded,
-                failure_cause=failure_cause))
+                failure_cause=failure_cause,
+                unavailable_shards=response.unavailable_shards))
 
     async def _handle_statement(self, payload: bytes) -> bytes:
         """Parse and execute one DQL statement frame off the event loop.

@@ -33,6 +33,7 @@ from ..cluster import ShardRouter, spec_from_collection
 from ..datasets import load_csv
 from ..service import MetricsRegistry
 from .client import Address, RemoteReplicaSet, RemoteShardClient, TransportError
+from .resilience import ResilienceConfig, RetryBudget
 
 #: The stdout line a shard server prints once it is accepting.
 READY_PREFIX = "SHARD-SERVER READY"
@@ -277,6 +278,8 @@ def connect_router(deployment_dir: str,
                    health_threshold: int = 3,
                    request_timeout: float = 30.0,
                    metrics: Optional[MetricsRegistry] = None,
+                   resilience: Optional[ResilienceConfig] = None,
+                   deadline_grace: float = 2.0,
                    ) -> ShardRouter:
     """A :class:`~repro.cluster.ShardRouter` over running shard servers.
 
@@ -286,6 +289,13 @@ def connect_router(deployment_dir: str,
     into :meth:`~repro.cluster.ShardRouter.from_transports`.  Pruning,
     MINDIST ordering, wave dispatch, early termination, and the top-k
     merge all run exactly as they do in-process.
+
+    ``resilience`` tunes the client-side failure handling (circuit
+    breakers, hedging, retry budget, recovery probes; see
+    :class:`~repro.net.resilience.ResilienceConfig`); the default
+    enables breakers and a background recovery probe.  One
+    :class:`~repro.net.resilience.RetryBudget` is shared by every shard
+    so failover across the whole router is bounded process-wide.
     """
     deployment_dir = os.path.abspath(deployment_dir)
     meta = _read_manifest(deployment_dir)
@@ -293,6 +303,10 @@ def connect_router(deployment_dir: str,
     if id_lists is None:
         raise ValueError(f"{deployment_dir} has no cluster manifest")
     registry = metrics if metrics is not None else MetricsRegistry()
+    config = resilience if resilience is not None else ResilienceConfig(
+        probe_interval=2.0)
+    budget = RetryBudget(max_tokens=config.retry_max_tokens,
+                         earn_per_success=config.retry_earn_per_success)
     shards = []
     for shard_id, ids in enumerate(id_lists):
         replica_addresses = addresses.get(shard_id)
@@ -309,7 +323,10 @@ def connect_router(deployment_dir: str,
             shard_id, list(replica_addresses),
             health_threshold=health_threshold,
             request_timeout=request_timeout,
-            metrics=registry)
+            metrics=registry,
+            resilience=config,
+            retry_budget=budget,
+            deadline_grace=deadline_grace)
         shards.append((spec, collection, transport))
     return ShardRouter.from_transports(
         shards, partitioner=meta.get("partitioner", "unknown"),

@@ -44,7 +44,7 @@ import struct
 import zlib
 from dataclasses import dataclass
 from enum import IntEnum
-from typing import Callable, List, Optional, Tuple
+from typing import Callable, List, Optional, Sequence, Tuple
 
 from ..core import DirectionalQuery, MatchMode, QueryResult, ResultEntry
 from ..storage import SearchStats
@@ -329,6 +329,7 @@ _FLAG_PARTIAL = 0x01
 _FLAG_CACHED = 0x02
 _FLAG_DEGRADED = 0x04
 _FLAG_HAS_STATS = 0x08
+_FLAG_HAS_UNAVAILABLE = 0x10
 
 
 @dataclass
@@ -343,6 +344,10 @@ class RemoteSearchResult:
     stats: Optional[SearchStats] = None
     degraded: bool = False
     failure_cause: Optional[str] = None
+    #: Shard ids whose replicas were all unreachable when a frontend
+    #: answered with a brownout partial (empty for full answers and for
+    #: single-shard servers).  The typed twin of ``failure_cause``.
+    unavailable_shards: Tuple[int, ...] = ()
 
     @property
     def partial(self) -> bool:
@@ -356,8 +361,14 @@ def encode_search_response(result: QueryResult, *,
                            server_latency: float = 0.0,
                            stats: Optional[SearchStats] = None,
                            degraded: bool = False,
-                           failure_cause: Optional[str] = None) -> bytes:
-    """Encode an answer: entries, flags, generation, latency, stats."""
+                           failure_cause: Optional[str] = None,
+                           unavailable_shards: Sequence[int] = ()) -> bytes:
+    """Encode an answer: entries, flags, generation, latency, stats.
+
+    ``unavailable_shards`` names the shards a scatter-gather frontend
+    lost (brownout degradation); it is flag-gated so responses without
+    it are byte-identical to the pre-brownout encoding.
+    """
     flags = 0
     if result.partial:
         flags |= _FLAG_PARTIAL
@@ -367,6 +378,8 @@ def encode_search_response(result: QueryResult, *,
         flags |= _FLAG_DEGRADED
     if stats is not None:
         flags |= _FLAG_HAS_STATS
+    if unavailable_shards:
+        flags |= _FLAG_HAS_UNAVAILABLE
     parts = [_RESPONSE_FIXED.pack(len(result.entries), flags,
                                   generation, server_latency)]
     parts.extend(_ENTRY.pack(entry.poi_id, entry.distance)
@@ -377,6 +390,14 @@ def encode_search_response(result: QueryResult, *,
             stats.nodes_examined, stats.pois_examined,
             stats.distance_computations, stats.candidates_verified))
     parts.append(_pack_str(failure_cause or ""))
+    if unavailable_shards:
+        if len(unavailable_shards) > 0xFFFF:
+            raise ProtocolError(
+                f"{len(unavailable_shards)} unavailable shards exceed "
+                "the 65535-shard frame limit")
+        parts.append(_U16.pack(len(unavailable_shards)))
+        parts.extend(_U32.pack(int(shard))
+                     for shard in unavailable_shards)
     return b"".join(parts)
 
 
@@ -398,6 +419,11 @@ def decode_search_response(payload: bytes) -> RemoteSearchResult:
             nodes_examined=nodes, pois_examined=pois,
             distance_computations=dists, candidates_verified=verified)
     failure_cause = reader.take_str() or None
+    unavailable: Tuple[int, ...] = ()
+    if flags & _FLAG_HAS_UNAVAILABLE:
+        (num_unavailable,) = reader.unpack(_U16)
+        unavailable = tuple(reader.unpack(_U32)[0]
+                            for _ in range(num_unavailable))
     reader.done()
     return RemoteSearchResult(
         result=QueryResult(entries, partial=bool(flags & _FLAG_PARTIAL)),
@@ -407,6 +433,7 @@ def decode_search_response(payload: bytes) -> RemoteSearchResult:
         stats=stats,
         degraded=bool(flags & _FLAG_DEGRADED),
         failure_cause=failure_cause,
+        unavailable_shards=unavailable,
     )
 
 

@@ -27,6 +27,7 @@ from .metrics import (
     LATENCY_BUCKETS,
     PAGES_BUCKETS,
     Counter,
+    Gauge,
     Histogram,
     MetricsRegistry,
 )
@@ -36,6 +37,7 @@ __all__ = [
     "CacheStats",
     "Counter",
     "Deadline",
+    "Gauge",
     "Histogram",
     "LATENCY_BUCKETS",
     "MetricsRegistry",

@@ -56,6 +56,33 @@ class Counter:
             return self._value
 
 
+class Gauge:
+    """A thread-safe value that can go up and down (e.g. token levels)."""
+
+    __slots__ = ("name", "_value", "_lock")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._value = 0.0
+        self._lock = make_lock("service.metrics.gauge")
+
+    def set(self, value: float) -> None:
+        """Replace the gauge's value."""
+        with self._lock:
+            self._value = float(value)
+
+    def add(self, by: float) -> None:
+        """Adjust the gauge by ``by`` (may be negative)."""
+        with self._lock:
+            self._value += by
+
+    @property
+    def value(self) -> float:
+        """Current value."""
+        with self._lock:
+            return self._value
+
+
 class Histogram:
     """Bucketed distribution of observed values, thread-safe.
 
@@ -150,6 +177,7 @@ class MetricsRegistry:
 
     def __init__(self) -> None:
         self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
         self._histograms: Dict[str, Histogram] = {}
         self._lock = make_lock("service.metrics.registry")
         self._started = time.monotonic()
@@ -161,6 +189,14 @@ class MetricsRegistry:
             if counter is None:
                 counter = self._counters[name] = Counter(name)
             return counter
+
+    def gauge(self, name: str) -> Gauge:
+        """The gauge called ``name``, created on first use."""
+        with self._lock:
+            gauge = self._gauges.get(name)
+            if gauge is None:
+                gauge = self._gauges[name] = Gauge(name)
+            return gauge
 
     def histogram(self, name: str,
                   buckets: Optional[Sequence[float]] = None) -> Histogram:
@@ -187,11 +223,13 @@ class MetricsRegistry:
         """
         with self._lock:
             counters = sorted(self._counters.values(), key=lambda c: c.name)
+            gauges = sorted(self._gauges.values(), key=lambda g: g.name)
             histograms = sorted(self._histograms.values(),
                                 key=lambda h: h.name)
         return {
             "uptime_seconds": self.uptime_seconds,
             "counters": {c.name: c.value for c in counters},
+            "gauges": {g.name: g.value for g in gauges},
             "histograms": {h.name: h.snapshot() for h in histograms},
         }
 
@@ -204,10 +242,13 @@ class MetricsRegistry:
         lines: List[str] = [f"# uptime {self.uptime_seconds:.1f}s"]
         with self._lock:
             counters = sorted(self._counters.values(), key=lambda c: c.name)
+            gauges = sorted(self._gauges.values(), key=lambda g: g.name)
             histograms = sorted(self._histograms.values(),
                                 key=lambda h: h.name)
         for counter in counters:
             lines.append(f"{counter.name} {counter.value}")
+        for gauge in gauges:
+            lines.append(f"{gauge.name} {gauge.value:.3f}")
         for histogram in histograms:
             snap = histogram.snapshot()
             unit, scale = ("ms", 1e3) if histogram.name.endswith(

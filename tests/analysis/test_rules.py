@@ -10,6 +10,7 @@ from repro.analysis.rules import (
     AngleArithmeticRule,
     BareAcquireRule,
     BufferBypassRule,
+    ChaosContainmentRule,
     FloatEqualityRule,
     LanguagePurityRule,
     NondeterminismRule,
@@ -349,6 +350,51 @@ class TestLanguagePurity:
                      path=self.LANG, rules=self.RULE)
         assert active(found) == []
         assert [f.code for f in found if f.suppressed] == ["DAL008"]
+
+
+# -- DAL009: chaos injector stays out of production paths ---------------------
+
+
+class TestChaosContainment:
+    RULE = [ChaosContainmentRule]
+    NET = "src/repro/net/client.py"
+
+    def test_absolute_import_fires(self):
+        found = lint("import repro.net.chaos\n", rules=self.RULE)
+        assert codes(found) == ["DAL009"]
+
+    def test_from_import_fires(self):
+        found = lint("from repro.net.chaos import ChaosProxy\n",
+                     path="src/repro/cluster/router.py", rules=self.RULE)
+        assert codes(found) == ["DAL009"]
+
+    def test_from_package_import_chaos_fires(self):
+        found = lint("from repro.net import chaos\n", rules=self.RULE)
+        assert codes(found) == ["DAL009"]
+
+    def test_relative_import_within_net_fires(self):
+        for stmt in ("from .chaos import ChaosProxy\n",
+                     "from . import chaos\n"):
+            assert codes(lint(stmt, path=self.NET,
+                              rules=self.RULE)) == ["DAL009"], stmt
+
+    def test_chaos_module_itself_is_exempt(self):
+        src = ("import socket\n"
+               "from .protocol import HEADER_FORMAT\n")
+        assert lint(src, path="src/repro/net/chaos.py",
+                    rules=self.RULE) == []
+
+    def test_other_net_imports_ok(self):
+        src = ("from .protocol import HEADER_FORMAT\n"
+               "from .resilience import CircuitBreaker\n"
+               "from repro.net import RemoteShardClient\n")
+        assert lint(src, path=self.NET, rules=self.RULE) == []
+
+    def test_noqa_suppresses(self):
+        found = lint("from repro.net import chaos  # desks: noqa-DAL009\n",
+                     rules=self.RULE)
+        assert active(found) == []
+        assert [f.code for f in found if f.suppressed] == ["DAL009"]
 
 
 # -- engine plumbing ----------------------------------------------------------

@@ -5,7 +5,7 @@ import threading
 
 import pytest
 
-from repro.cluster import ShardRouter
+from repro.cluster import FaultInjector, ShardRouter
 from repro.net import (
     ClusterFrontend,
     OverloadError,
@@ -67,6 +67,35 @@ def test_frontend_expired_budget_is_partial_and_immediate(front_client,
     assert remote.result.entries == []
     assert frontend.metrics.counter("net_deadline_expired_total").value \
         == before + 1
+
+
+def test_frontend_forwards_typed_brownout(collection):
+    """A lost shard answers as a typed partial naming the shard.
+
+    With every replica of every shard hard-failed, the router browns out
+    instead of erroring; the frontend must forward the loss *typed* —
+    ``degraded`` with ``unavailable_shards`` on the wire — so a remote
+    client knows exactly which shards its partial answer is missing.
+    """
+    injector = FaultInjector()
+    injector.set_fault(replica_id=0, error_rate=1.0)
+    with ShardRouter(collection, num_shards=2, partitioner="grid",
+                     fault_injector=injector) as router:
+        frontend = ClusterFrontend(router, num_workers=2).start()
+        try:
+            query = random_queries(random.Random(35), 1)[0]
+            with RemoteShardClient(frontend.address) as cli:
+                remote = cli.search(query)
+            assert remote.degraded
+            assert remote.unavailable_shards
+            assert remote.unavailable_shards == \
+                tuple(sorted(remote.unavailable_shards))
+            assert remote.failure_cause is not None
+            assert "unavailable" in remote.failure_cause
+            assert frontend.metrics.counter(
+                "net_frontend_brownouts_total").value >= 1
+        finally:
+            frontend.stop()
 
 
 def test_frontend_sheds_typed_overload(collection):

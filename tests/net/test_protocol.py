@@ -310,6 +310,26 @@ def test_search_response_round_trip():
     assert remote.failure_cause == "shard 3 down"
 
 
+def test_unavailable_shards_round_trip():
+    """The typed brownout trailer survives the wire bit-exactly."""
+    blob = encode_search_response(result_of(2, partial=True),
+                                  failure_cause="shards 1, 4 unavailable",
+                                  unavailable_shards=[4, 1])
+    remote = decode_search_response(blob)
+    assert remote.unavailable_shards == (4, 1)
+    assert remote.partial
+    assert remote.failure_cause == "shards 1, 4 unavailable"
+
+
+def test_unavailable_shards_default_is_empty_and_flagless():
+    """Full answers carry no trailer: old decoders keep working."""
+    with_field = encode_search_response(result_of(3),
+                                        unavailable_shards=())
+    without = encode_search_response(result_of(3))
+    assert with_field == without
+    assert decode_search_response(without).unavailable_shards == ()
+
+
 def test_partial_flag_and_empty_result_round_trip():
     remote = decode_search_response(
         encode_search_response(result_of(0, partial=True)))
