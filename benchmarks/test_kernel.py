@@ -1,0 +1,189 @@
+"""The columnar kernel's reason to exist: raw scan throughput.
+
+Tentpole gate of the kernel PR.  Two searchers answer the same workload
+over the same :class:`~repro.core.DesksIndex`:
+
+* **object path** — :class:`~repro.core.DesksSearcher`, one query at a
+  time, one Python object per POI touched;
+* **columnar** — :class:`~repro.kernel.ColumnarSearcher.search_batch`
+  over the compiled :class:`~repro.kernel.ColumnarSnapshot`, whole
+  wedges verified per numpy call, plan caches shared across the batch.
+
+The regime is deliberately **scan-heavy**: a popular single keyword,
+wide (or absent) direction intervals, ``k`` up to 20, and a coarse
+3x4 band/wedge grid over the CN preset, so most of the work is the
+per-POI verify/offer loop the kernel vectorises.  Pruning-heavy
+workloads (many keywords, fine grids) spend their time in the scalar
+band/subregion control flow — which the kernel *shares* with the object
+path, by design, to keep pruning counts identical — and Amdahl caps the
+win there near 2x; that regime is reported by the figure benchmarks,
+not gated here.
+
+Noise handling mirrors ``test_lang_overhead.py``: the two sides
+alternate inside every round (machine drift hits both equally) and the
+gate compares best-of-``ROUNDS`` per side.
+
+Acceptance (ISSUE 9): aggregate columnar speedup >= 5x on this
+workload, with bit-identical entries and identical
+:class:`~repro.storage.SearchStats` pruning counters on a 240-query
+corpus spanning full-circle, wraparound, and narrow-wedge intervals.
+"""
+
+import math
+import time
+
+import pytest
+
+from repro.bench import (
+    format_series_table,
+    generate_queries,
+    write_json_result,
+    write_result,
+)
+from repro.core import DesksIndex, DesksSearcher, PruningMode
+from repro.datasets import china_like, generate
+from repro.kernel import ColumnarSearcher, ColumnarSnapshot
+from repro.storage import SearchStats
+
+pytestmark = pytest.mark.kernel
+
+SCALE = 200.0            # CN preset / 200 -> ~82.5k POIs
+NUM_BANDS = 3
+NUM_WEDGES = 4           # coarse grid: few, large wedges to scan
+ROUNDS = 3
+QUERIES_PER_MIX = 60
+MIN_SPEEDUP = 5.0
+#: (label, direction width in radians, k) — scan-heavy mixes.
+MIXES = [
+    ("full-circle k=20", 2.0 * math.pi, 20),
+    ("width-4.0 k=20", 4.0, 20),
+    ("width-2.0 k=10", 2.0, 10),
+]
+
+
+def _object_seconds(searcher, queries):
+    tick = time.perf_counter()
+    for query in queries:
+        searcher.search(query, PruningMode.RD)
+    return time.perf_counter() - tick
+
+
+def _columnar_seconds(searcher, queries):
+    tick = time.perf_counter()
+    searcher.search_batch(queries, PruningMode.RD)
+    return time.perf_counter() - tick
+
+
+def _equivalence_corpus(collection, count=240, seed=23):
+    """Full-circle / wraparound / narrow-wedge thirds, varied keywords."""
+    per_family = count // 3
+    full = generate_queries(collection, per_family, 1, 2.0 * math.pi,
+                            k=10, seed=seed)
+    # alpha just under 2*pi with a width pushing past it: every interval
+    # wraps through the 0 == 2*pi seam.
+    wrap = generate_queries(collection, per_family, 2, 1.5, k=5,
+                            seed=seed + 1, alpha=6.0)
+    narrow = generate_queries(collection, per_family, 1, 0.2, k=10,
+                              seed=seed + 2)
+    return full + wrap + narrow
+
+
+def _check_equivalence(object_searcher, columnar_searcher, corpus):
+    """Entries AND pruning counters must match, query for query."""
+    mismatches = 0
+    for query in corpus:
+        for mode in (PruningMode.RD, PruningMode.R, PruningMode.D):
+            expected_stats = SearchStats()
+            actual_stats = SearchStats()
+            expected = object_searcher.search(query, mode, expected_stats)
+            actual = columnar_searcher.search(query, mode, actual_stats)
+            same = ([(e.poi_id, e.distance) for e in actual.entries]
+                    == [(e.poi_id, e.distance) for e in expected.entries]
+                    and actual_stats == expected_stats)
+            mismatches += 0 if same else 1
+    return mismatches
+
+
+def test_columnar_kernel_speedup(record_property):
+    collection = generate(china_like(scale=SCALE))
+    index = DesksIndex(collection, num_bands=NUM_BANDS,
+                       num_wedges=NUM_WEDGES)
+    object_searcher = DesksSearcher(index)
+    snapshot = ColumnarSnapshot(index)
+    columnar_searcher = ColumnarSearcher(snapshot)
+
+    corpus = _equivalence_corpus(collection)
+    mismatches = _check_equivalence(object_searcher, columnar_searcher,
+                                    corpus)
+    assert mismatches == 0, (
+        f"{mismatches}/{len(corpus)} corpus queries diverged between the "
+        "object path and the columnar kernel")
+
+    workloads = {
+        label: generate_queries(collection, QUERIES_PER_MIX, 1, width,
+                                k=k, seed=7)
+        for label, width, k in MIXES
+    }
+
+    # Warmup (JIT-free Python, but it faults pages in and fills the
+    # kernel's plan caches the same way a warm server would be).
+    for queries in workloads.values():
+        _object_seconds(object_searcher, queries[:5])
+        _columnar_seconds(columnar_searcher, queries[:5])
+
+    object_best = {label: math.inf for label in workloads}
+    columnar_best = {label: math.inf for label in workloads}
+    for _ in range(ROUNDS):
+        for label, queries in workloads.items():
+            object_best[label] = min(
+                object_best[label], _object_seconds(object_searcher,
+                                                    queries))
+            columnar_best[label] = min(
+                columnar_best[label], _columnar_seconds(columnar_searcher,
+                                                        queries))
+
+    per_mix = {label: object_best[label] / columnar_best[label]
+               for label in workloads}
+    aggregate = (sum(object_best.values())
+                 / sum(columnar_best.values()))
+
+    table = format_series_table(
+        f"Columnar kernel vs object path (CN/{SCALE:.0f}, "
+        f"{NUM_BANDS}x{NUM_WEDGES} grid, {QUERIES_PER_MIX} queries/mix, "
+        f"best of {ROUNDS} interleaved rounds)",
+        "workload",
+        ["object ms", "columnar ms", "speedup x"],
+        {label: [1000.0 * object_best[label],
+                 1000.0 * columnar_best[label], per_mix[label]]
+         for label in workloads},
+        unit="ms, speedup dimensionless")
+    print()
+    print(table)
+    print(f"aggregate speedup: {aggregate:.2f}x "
+          f"(gate >= {MIN_SPEEDUP:.1f}x); snapshot "
+          f"{snapshot.nbytes / 1e6:.1f} MB compiled in "
+          f"{snapshot.build_seconds * 1000:.0f} ms")
+    write_result("kernel_speedup", table)
+    write_json_result("BENCH_kernel", {
+        "dataset": "CN",
+        "scale": SCALE,
+        "num_pois": len(collection),
+        "num_bands": NUM_BANDS,
+        "num_wedges": NUM_WEDGES,
+        "rounds": ROUNDS,
+        "queries_per_mix": QUERIES_PER_MIX,
+        "equivalence_corpus_queries": len(corpus),
+        "equivalence_mismatches": mismatches,
+        "object_best_seconds": object_best,
+        "columnar_best_seconds": columnar_best,
+        "speedup_per_mix": per_mix,
+        "aggregate_speedup": aggregate,
+        "min_speedup": MIN_SPEEDUP,
+        "snapshot_nbytes": snapshot.nbytes,
+        "snapshot_build_seconds": snapshot.build_seconds,
+    })
+    record_property("aggregate_speedup", aggregate)
+
+    assert aggregate >= MIN_SPEEDUP, (
+        f"columnar kernel is {aggregate:.2f}x the object path on the "
+        f"scan-heavy workload; the gate requires >= {MIN_SPEEDUP:.1f}x")

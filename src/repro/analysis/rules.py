@@ -300,7 +300,7 @@ class NondeterminismRule(RuleVisitor):
         "and a seeded random.Random instance for randomness.")
 
     #: Packages whose behaviour must be deterministic.
-    SCOPED = ("core", "rtree", "text", "geometry", "durability")
+    SCOPED = ("core", "rtree", "text", "geometry", "durability", "kernel")
 
     _GLOBAL_RNG_OK = {"Random", "SystemRandom", "seed", "getstate",
                       "setstate"}

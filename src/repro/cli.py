@@ -202,6 +202,14 @@ def build_parser() -> argparse.ArgumentParser:
                          default="inproc",
                          help="inproc: call the engine directly; socket: "
                               "drive a ShardServer over the wire protocol")
+    p_serve.add_argument("--kernel", choices=["object", "columnar"],
+                         default="object",
+                         help="search kernel: object-path DesksSearcher "
+                              "or the columnar batch kernel (static "
+                              "index, inproc only)")
+    p_serve.add_argument("--batch", type=int, default=1,
+                         help="queries per client batch (submit_batch "
+                              "path when > 1)")
     p_serve.add_argument("--metrics", action="store_true",
                          help="dump the full metrics registry at the end")
     p_serve.add_argument("--metrics-json", metavar="PATH", default=None,
@@ -239,6 +247,10 @@ def build_parser() -> argparse.ArgumentParser:
                            help="inproc: replicas on a shared thread "
                                 "pool; socket: one real shard-server "
                                 "process per (shard, replica)")
+    p_cluster.add_argument("--kernel", choices=["object", "columnar"],
+                           default="object",
+                           help="per-shard search kernel (columnar "
+                                "requires --transport inproc)")
     p_cluster.add_argument("--no-verify", action="store_true",
                            help="skip the unsharded equivalence check")
     p_cluster.add_argument("--metrics-json", metavar="PATH", default=None,
@@ -643,9 +655,22 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
         collection, args.queries, num_keywords=args.keywords,
         direction_width=math.radians(args.width), k=args.k, seed=args.seed)
     stream = repeated_stream(base, args.repeats, seed=args.seed)
-    index = MutableDesksIndex(collection)
     timeout = (args.timeout_ms / 1000.0
                if args.timeout_ms is not None else None)
+    if args.kernel == "columnar":
+        # The columnar snapshot is frozen at compile time, so the sweep
+        # serves a static index: no insert churn, no wire transport yet.
+        if args.inserts:
+            print("error: --kernel columnar serves a frozen snapshot; "
+                  "--inserts requires --kernel object", file=sys.stderr)
+            return 2
+        if args.transport == "socket":
+            print("error: --kernel columnar requires --transport inproc "
+                  "(shard servers run the object path)", file=sys.stderr)
+            return 2
+        index = DesksIndex(collection)
+    else:
+        index = MutableDesksIndex(collection)
     if args.transport == "socket":
         return _serve_bench_socket(args, index, stream, timeout,
                                    len(collection), len(base))
@@ -653,15 +678,18 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
     mbr = collection.mbr
     with QueryEngine(index, num_workers=args.workers,
                      cache_capacity=args.cache,
-                     default_timeout=timeout) as engine:
+                     default_timeout=timeout,
+                     kernel=args.kernel) as engine:
         print(f"{len(collection)} POIs, {len(base)} distinct queries x "
               f"{args.repeats} repeats, {args.requests} req/client, "
-              f"think={args.think_ms:.1f} ms")
+              f"think={args.think_ms:.1f} ms, kernel={args.kernel}, "
+              f"batch={args.batch}")
         for num_clients in args.clients:
             report = run_closed_loop(
                 engine, stream, num_clients,
                 requests_per_client=args.requests,
-                think_time=args.think_ms / 1000.0)
+                think_time=args.think_ms / 1000.0,
+                batch_size=args.batch)
             print(report.summary())
             if report.first_error:
                 print(f"  first error: {report.first_error}",
@@ -752,10 +780,15 @@ def _cmd_cluster_bench(args: argparse.Namespace) -> int:
             return 2
         injector = FaultInjector(seed=args.seed)
         injector.set_fault(replica_id=0, error_rate=args.fault_rate)
+    if args.kernel == "columnar" and args.transport == "socket":
+        print("error: --kernel columnar requires --transport inproc "
+              "(shard servers run the object path)", file=sys.stderr)
+        return 2
 
     print(f"{len(collection)} POIs, {len(queries)} queries, "
           f"partitioner={args.partitioner}, replicas={args.replicas}, "
-          f"fault_rate={args.fault_rate}, transport={args.transport}")
+          f"fault_rate={args.fault_rate}, transport={args.transport}, "
+          f"kernel={args.kernel}")
     print(f"{'shards':>7}{'avg ms':>10}{'pruned %':>10}{'retries':>9}"
           f"{'degraded':>10}{'mismatches':>12}")
     exit_code = 0
@@ -821,7 +854,8 @@ def _cluster_bench_router(args: argparse.Namespace, collection,
                            replication=args.replicas,
                            num_workers=args.workers,
                            max_fanout=args.fanout,
-                           fault_injector=injector)
+                           fault_injector=injector,
+                           kernel=args.kernel)
 
     import contextlib
     import tempfile

@@ -28,6 +28,7 @@ from typing import List, Optional, Tuple, Union
 
 from ..analysis import make_lock
 from ..core import DesksIndex, DirectionalQuery, MutableDesksIndex, PruningMode
+from ..kernel import ColumnarSnapshot
 from ..service import MetricsRegistry, QueryEngine, ServiceResponse
 from ..storage import PageCorruptionError
 
@@ -186,7 +187,8 @@ class ReplicaSet:
                  executor=None,
                  fault_injector: Optional[FaultInjector] = None,
                  health_threshold: int = 3,
-                 metrics: Optional[MetricsRegistry] = None) -> None:
+                 metrics: Optional[MetricsRegistry] = None,
+                 kernel: str = "object") -> None:
         if replication < 1:
             raise ValueError(f"replication must be >= 1: {replication}")
         if health_threshold < 1:
@@ -198,11 +200,16 @@ class ReplicaSet:
         # Replicas share the shard's (read-only) index and the cluster's
         # thread pool; each gets a private engine so caches and per-replica
         # metrics stay independent, as they would be on separate machines.
+        # Under the columnar kernel the shard is compiled ONCE and the
+        # frozen snapshot shared — replicating arrays buys nothing.
+        snapshot = (ColumnarSnapshot(index) if kernel == "columnar"
+                    and not isinstance(index, MutableDesksIndex) else None)
         self.replicas: List[Replica] = [
             Replica(shard_id, replica_id,
                     QueryEngine(index, num_workers=1, mode=mode,
                                 cache_capacity=cache_capacity,
-                                executor=executor),
+                                executor=executor, kernel=kernel,
+                                snapshot=snapshot),
                     health_threshold)
             for replica_id in range(replication)
         ]

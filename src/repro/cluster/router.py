@@ -155,6 +155,7 @@ class ShardRouter:
                  fault_injector: Optional[FaultInjector] = None,
                  health_threshold: int = 3,
                  metrics: Optional[MetricsRegistry] = None,
+                 kernel: str = "object",
                  _prebuilt: Optional[Sequence[Tuple[ShardSpec,
                                                     DesksIndex]]] = None,
                  ) -> None:
@@ -163,6 +164,7 @@ class ShardRouter:
         if max_fanout < 1:
             raise ValueError(f"max_fanout must be >= 1: {max_fanout}")
         self.mode = mode
+        self.kernel = kernel
         self.max_fanout = max_fanout
         self.fault_injector = fault_injector
         self.stats = ClusterStats(metrics)
@@ -192,7 +194,8 @@ class ShardRouter:
                     executor=self._executor,
                     fault_injector=fault_injector,
                     health_threshold=health_threshold,
-                    metrics=self.stats.registry)
+                    metrics=self.stats.registry,
+                    kernel=kernel)
                 self.shards.append(Shard(spec, sub, index, replicas))
         except Exception:
             self._executor.shutdown(wait=False)
@@ -228,6 +231,7 @@ class ShardRouter:
             raise ValueError(f"max_fanout must be >= 1: {max_fanout}")
         router = cls.__new__(cls)
         router.mode = mode
+        router.kernel = "object"
         router.max_fanout = max_fanout
         router.fault_injector = None
         router.stats = ClusterStats(metrics)

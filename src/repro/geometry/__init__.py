@@ -31,6 +31,12 @@ from .sector import (
     sector_intersects_mbr,
     subtended_interval,
 )
+from .vectorized import (
+    arc_contains,
+    arc_contains_vectors,
+    directions_of,
+    normalize_angles,
+)
 
 __all__ = [
     "ANGLE_EPS",
@@ -48,9 +54,13 @@ __all__ = [
     "subtended_interval",
     "angle_between",
     "angle_of",
+    "arc_contains",
+    "arc_contains_vectors",
+    "directions_of",
     "frames_for",
     "interval_from_optional",
     "normalize_angle",
+    "normalize_angles",
     "quadrant_of",
     "ray_circle_intersection",
     "ray_ray_intersection",

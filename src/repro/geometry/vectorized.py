@@ -1,0 +1,115 @@
+"""Vectorised counterparts of the scalar angle helpers in ``angles``.
+
+The columnar kernel (``repro.kernel``) verifies whole wedges of POIs at
+once, which needs array versions of ``normalize_angle`` / ``angle_of`` /
+``angle_between``.  They live here — not in the kernel — because DAL001
+reserves raw ``atan2`` / ``fmod(..., 2*pi)`` for ``repro.geometry``: one
+package owns direction normalisation, scalar or vectorised.
+
+Bit-exactness contract (load-bearing for the kernel's equivalence
+guarantee):
+
+- ``normalize_angles`` is bit-identical to ``normalize_angle`` per
+  element: ``np.fmod`` matches C ``fmod`` (exact by IEEE 754), and the
+  two folds are exact additions/comparisons.
+- ``directions_of`` is **approximate**: ``np.arctan2`` may differ from
+  ``math.atan2`` by a few ulps on some platforms (measured here:
+  ~7.8% of random inputs differ in the last ulp).  Callers that need
+  the scalar answer must re-check borderline elements with
+  ``angle_of`` — ``arc_contains`` reports exactly which elements are
+  borderline for a caller-chosen slack.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Tuple
+
+import numpy as np
+
+from .angles import ANGLE_EPS, TWO_PI
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from numpy.typing import NDArray
+
+    FloatArray = NDArray[np.float64]
+    BoolArray = NDArray[np.bool_]
+
+
+def normalize_angles(thetas: "FloatArray") -> "FloatArray":
+    """Elementwise ``normalize_angle``: fold angles onto ``[0, 2*pi)``.
+
+    Mirrors the scalar implementation branch for branch (``fmod``, add
+    one period if negative, fold an exact ``2*pi`` back to ``0``) so the
+    result is bit-identical per element.
+    """
+    out = np.fmod(np.asarray(thetas, dtype=np.float64), TWO_PI)
+    out = np.where(out < 0.0, out + TWO_PI, out)
+    return np.where(out >= TWO_PI, 0.0, out)
+
+
+def directions_of(dxs: "FloatArray", dys: "FloatArray") -> "FloatArray":
+    """Directions of the vectors ``(dx, dy)`` on ``[0, 2*pi)``.
+
+    Vectorised ``angle_of`` up to ulp error: ``np.arctan2`` is not
+    guaranteed bit-identical to ``math.atan2``.  Zero vectors map to
+    ``0.0`` instead of raising — callers mask coincident points out
+    before trusting the direction.
+    """
+    return normalize_angles(np.arctan2(dys, dxs))
+
+
+def arc_contains(thetas: "FloatArray", lower: float, upper: float,
+                 slack: float = 0.0) -> Tuple["BoolArray", "BoolArray"]:
+    """Vectorised ``angle_between``: which ``thetas`` lie on the arc.
+
+    Returns ``(inside, borderline)`` boolean masks.  ``inside`` applies
+    the scalar rule exactly (offset from ``lower``, compared against the
+    span with ``ANGLE_EPS``).  ``borderline`` marks elements whose
+    offset falls within ``slack`` of a decision boundary — the inclusive
+    upper limit, or the ``0`` / ``2*pi`` wrap where the ``fmod`` fold
+    can flip sides — so a caller feeding ulp-approximate directions
+    (``directions_of``) can re-check just those with the scalar
+    ``angle_of`` + ``angle_between`` and keep bit-exact semantics.
+    ``slack=0.0`` reports nothing borderline.
+    """
+    thetas = np.asarray(thetas, dtype=np.float64)
+    span = upper - lower
+    if span >= TWO_PI - ANGLE_EPS:  # full circle: everything is inside
+        inside = np.ones(thetas.shape, dtype=bool)
+        return inside, np.zeros(thetas.shape, dtype=bool)
+    return _classify_offsets(normalize_angles(thetas - lower), span, slack)
+
+
+def arc_contains_vectors(dxs: "FloatArray", dys: "FloatArray",
+                         lower: float, upper: float, slack: float = 0.0,
+                         ) -> Tuple["BoolArray", "BoolArray"]:
+    """``arc_contains`` of the directions of the vectors ``(dx, dy)``.
+
+    Fuses ``directions_of`` into the offset computation: the raw
+    ``np.arctan2`` result feeds ``normalize_angles(theta - lower)``
+    directly, skipping the intermediate fold onto ``[0, 2*pi)`` (one
+    full-array pass).  The skipped fold changes at most the last few
+    ulps of each offset — within any practical ``slack`` — and every
+    element that close to a decision boundary is flagged borderline for
+    scalar re-checking, so the prefilter-then-confirm contract is
+    unchanged.  Zero vectors get direction ``0``; mask them out (the
+    scalar path's coincident-point guard) before trusting the answer.
+    """
+    span = upper - lower
+    if span >= TWO_PI - ANGLE_EPS:
+        inside = np.ones(np.shape(dxs), dtype=bool)
+        return inside, np.zeros(np.shape(dxs), dtype=bool)
+    offsets = normalize_angles(np.arctan2(dys, dxs) - lower)
+    return _classify_offsets(offsets, span, slack)
+
+
+def _classify_offsets(offsets: "FloatArray", span: float, slack: float,
+                      ) -> Tuple["BoolArray", "BoolArray"]:
+    """Shared (inside, borderline) classification of arc offsets."""
+    limit = span + ANGLE_EPS
+    inside = offsets <= limit
+    if slack <= 0.0:
+        return inside, np.zeros(offsets.shape, dtype=bool)
+    borderline = (np.abs(offsets - limit) <= slack) \
+        | (offsets <= slack) | (offsets >= TWO_PI - slack)
+    return inside, borderline

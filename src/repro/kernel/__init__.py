@@ -1,0 +1,21 @@
+"""Columnar batch kernel: struct-of-arrays search over a frozen index.
+
+``ColumnarSnapshot`` compiles a :class:`~repro.core.index.DesksIndex`
+into parallel numpy arrays (one image per anchor corner);
+``ColumnarSearcher`` runs the paper's band/wedge scan over those arrays,
+verifying whole wedges at a time instead of one POI object at a time,
+and exposes ``search_batch`` to amortise plan construction across many
+queries.  Results, pruning counters, and traces are bit-identical to
+:class:`~repro.core.search.DesksSearcher` — see ``docs/KERNEL.md`` for
+the memory layout and the equivalence argument.
+"""
+
+from .snapshot import AnchorColumns, ColumnarSnapshot, TermColumns
+from .search import ColumnarSearcher
+
+__all__ = [
+    "AnchorColumns",
+    "ColumnarSearcher",
+    "ColumnarSnapshot",
+    "TermColumns",
+]

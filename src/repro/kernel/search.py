@@ -1,0 +1,541 @@
+"""Vectorised band/wedge scan over the columnar snapshot.
+
+``ColumnarSearcher`` is a drop-in replacement for
+:class:`~repro.core.search.DesksSearcher`: same ``search`` signature,
+same spans, same ``SearchStats`` counters, bit-identical answers.  The
+*decisions* — band order (Eq. 4), Lemma 1 skips and termination, the
+Lemma 2-4 wedge window, and every per-wedge ``MINDIST`` (Table I) —
+reuse the scalar implementations verbatim, so pruning counts cannot
+drift.  What is vectorised is the per-POI verification inside each
+wedge: keyword-run intersection, direction membership, and the distance
+prefilter run as whole-array operations.
+
+Bit-exactness is kept by a prefilter-then-confirm discipline, because
+``np.arctan2`` / ``np.hypot`` are *not* guaranteed bit-identical to
+their ``math`` counterparts:
+
+- direction: ``arc_contains`` (exact arithmetic on approximate
+  ``np.arctan2`` directions) classifies each POI and flags every
+  element within ``1e-9`` of a decision boundary — those few are
+  re-decided with the scalar ``angle_of`` + ``DirectionInterval``
+  path.  The ulp error of ``arctan2`` is ~1e-15, six orders below the
+  slack, so no misclassification can hide outside the flagged set.
+- distance: ``np.hypot`` orders candidates approximately; any POI
+  within the (slack-widened) current ``d_k`` is re-measured with
+  ``math.hypot`` before it is offered to the top-k heap, and only the
+  exact value is compared or stored.
+
+``search_batch`` answers many queries on one searcher, amortising
+keyword resolution and candidate-plan construction through per-instance
+caches keyed on ``(quadrant, term ids, match mode)`` — repeated keyword
+sets (every serving workload) skip straight to the array scans.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+import time
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.mindist import (
+    BasicQueryGeometry,
+    band_mindist,
+    basic_geometry,
+    subregion_mindist,
+)
+from ..core.query import DirectionalQuery, MatchMode, QueryResult, ResultEntry
+from ..core.regions import Band
+from ..core.search import (
+    INF,
+    PruningMode,
+    SupportsExpired,
+    _emit_query_spans,
+    _TopK,
+)
+from ..core.trace import BandTrace, QueryTrace, WedgeTrace
+from ..geometry import ANGLE_EPS, TWO_PI, angle_of, arc_contains_vectors
+from ..storage import SearchStats
+from ..trace.spans import current_tracer
+from .snapshot import AnchorColumns, ColumnarSnapshot
+
+#: Angular distance (radians) from a containment boundary under which a
+#: vectorised direction decision is re-confirmed with scalar math.  Six
+#: orders of magnitude above arctan2's worst-case ulp disagreement.
+_DIRECTION_SLACK = 1e-9
+
+#: Relative widening of ``d_k`` for the approximate distance prefilter;
+#: anything inside is re-measured exactly before the heap sees it.
+_KTH_SLACK = 1e-9
+
+#: Bound on the per-searcher plan caches (cleared wholesale when full).
+_PLAN_CACHE_LIMIT = 512
+
+
+class _TermPlan:
+    """Cached columnar access plan for one (anchor, keyword set) pair.
+
+    Holds the sub-regions that can contain an answer (the paper's
+    ``L^R_K``) plus each keyword's position runs, and lazily caches the
+    per-band combined survivor positions — the expensive part of a
+    repeated query's scan.
+    """
+
+    __slots__ = ("candidate_gids", "term_positions", "conjunctive",
+                 "_band_cache")
+
+    def __init__(self, candidate_gids: "np.ndarray",
+                 term_positions: List["np.ndarray"],
+                 conjunctive: bool) -> None:
+        self.candidate_gids = candidate_gids
+        self.term_positions = term_positions
+        self.conjunctive = conjunctive
+        self._band_cache: Dict[int, "np.ndarray"] = {}
+
+    def band_positions(self, band: Band, sub_starts: "np.ndarray",
+                       ) -> Tuple["np.ndarray", "np.ndarray"]:
+        """Positions in ``band`` matching the keyword predicate (sorted).
+
+        ALL-mode intersects the keywords' band runs (smallest first,
+        early exit on empty); ANY-mode unions them.  Positions are
+        globally unique, so set semantics match the object path's
+        per-wedge ``set`` algebra exactly.  Returns ``(positions,
+        offsets)`` where ``offsets[w] : offsets[w + 1]`` slices
+        ``positions`` down to the band's ``w``-th wedge — the per-wedge
+        scan does no further searching.
+        """
+        cached = self._band_cache.get(band.index)
+        if cached is None:
+            first_gid = band.first_gid
+            wedge_bounds = sub_starts[first_gid:
+                                      first_gid + len(band.subregions) + 1]
+            start = int(wedge_bounds[0])
+            end = int(wedge_bounds[-1])
+            runs = []
+            for positions in self.term_positions:
+                lo = int(np.searchsorted(positions, start))
+                hi = int(np.searchsorted(positions, end))
+                runs.append(positions[lo:hi])
+            if self.conjunctive:
+                runs.sort(key=len)
+                merged = runs[0]
+                for other in runs[1:]:
+                    if merged.size == 0:
+                        break
+                    merged = np.intersect1d(merged, other,
+                                            assume_unique=True)
+            elif len(runs) == 1:
+                merged = runs[0]
+            else:
+                merged = np.unique(np.concatenate(runs))
+            cached = (merged, np.searchsorted(merged, wedge_bounds))
+            self._band_cache[band.index] = cached
+        return cached
+
+
+@dataclass
+class _KernelSubquery:
+    """Per-anchor state of one basic sub-query (columnar flavour)."""
+
+    quadrant: int
+    columns: AnchorColumns
+    geometry: BasicQueryGeometry
+    plan: _TermPlan
+    _bounds_cache: Dict[int, Tuple[float, float]] = field(
+        default_factory=dict)
+
+    def band_bounds(self, band: Band) -> Tuple[float, float]:
+        cached = self._bounds_cache.get(band.index)
+        if cached is None:
+            cached = self.geometry.band_direction_bounds(band.outer_radius)
+            self._bounds_cache[band.index] = cached
+        return cached
+
+
+class ColumnarSearcher:
+    """Answers DESKS queries over a :class:`ColumnarSnapshot`.
+
+    Accepts either a frozen :class:`~repro.core.index.DesksIndex` (a
+    snapshot is compiled on the spot) or a prebuilt snapshot — engine
+    worker pools share one snapshot across searchers.  The per-instance
+    plan caches are not thread-safe; give each concurrent worker its own
+    searcher, as :class:`~repro.service.QueryEngine` does.
+    """
+
+    def __init__(self, source) -> None:
+        if isinstance(source, ColumnarSnapshot):
+            snapshot = source
+        else:
+            snapshot = ColumnarSnapshot(source)
+        self.snapshot = snapshot
+        self.index = snapshot.index
+        self._collection = snapshot.collection
+        self._term_cache: Dict[Tuple[FrozenSet[str], bool],
+                               Optional[FrozenSet[int]]] = {}
+        self._plan_cache: Dict[Tuple[int, Tuple[int, ...], bool],
+                               Optional[_TermPlan]] = {}
+
+    @property
+    def io_stats(self):
+        """The source index's I/O counters (the snapshot reads no pages)."""
+        return self.index.io_stats
+
+    # -- public API -----------------------------------------------------------
+
+    def search(self, query: DirectionalQuery,
+               mode: PruningMode = PruningMode.RD,
+               stats: Optional[SearchStats] = None,
+               seed_entries: Optional[Iterable[ResultEntry]] = None,
+               trace: Optional[QueryTrace] = None,
+               deadline: Optional["SupportsExpired"] = None) -> QueryResult:
+        """Same contract as :meth:`DesksSearcher.search`, same answers."""
+        tracer = current_tracer()
+        if tracer is None:
+            return self._search_impl(query, mode, stats, seed_entries,
+                                     trace, deadline)
+        qtrace = trace if trace is not None else QueryTrace()
+        with tracer.span("desks.search", mode=mode.name, k=query.k) as span:
+            result = self._search_impl(query, mode, stats, seed_entries,
+                                       qtrace, deadline)
+            _emit_query_spans(tracer, span, qtrace, result)
+        return result
+
+    def search_batch(self, queries: Sequence[DirectionalQuery],
+                     mode: PruningMode = PruningMode.RD,
+                     stats: Optional[Sequence[Optional[SearchStats]]] = None,
+                     deadline: Optional["SupportsExpired"] = None,
+                     ) -> List[QueryResult]:
+        """Answer ``queries`` in order, amortising plan construction.
+
+        The searcher's term/plan/band caches persist across the batch
+        (and across batches), so repeated keyword sets resolve to arrays
+        already sliced and intersected.  ``stats``, when given, must be
+        one :class:`SearchStats` (or ``None``) per query.
+        """
+        if stats is not None and len(stats) != len(queries):
+            raise ValueError(
+                f"stats has {len(stats)} slots for {len(queries)} queries")
+        results: List[QueryResult] = []
+        for position, query in enumerate(queries):
+            per_query = stats[position] if stats is not None else None
+            results.append(self.search(query, mode, stats=per_query,
+                                       deadline=deadline))
+        return results
+
+    # -- Algorithm 2 over arrays -------------------------------------------------
+
+    def _search_impl(self, query: DirectionalQuery,
+                     mode: PruningMode,
+                     stats: Optional[SearchStats],
+                     seed_entries: Optional[Iterable[ResultEntry]],
+                     trace: Optional[QueryTrace],
+                     deadline: Optional["SupportsExpired"]) -> QueryResult:
+        collector = _TopK(query.k, seed=seed_entries)
+        conjunctive = query.match_mode is MatchMode.ALL
+        term_ids = self._resolve_terms(query.keywords, conjunctive)
+        if term_ids is None:
+            if trace is not None:
+                trace.num_results = len(collector.entries())
+            return QueryResult(collector.entries())
+        if trace is not None:
+            io = self.index.io_stats
+            pages_before = io.logical_reads
+            tick = time.perf_counter()
+        subqueries = self._prepare_subqueries(query, term_ids)
+        if trace is not None:
+            trace.prepare_seconds = time.perf_counter() - tick
+            trace.prepare_pages = io.logical_reads - pages_before
+        completed = self._run(query, subqueries, collector, mode, stats,
+                              trace, deadline)
+        result = QueryResult(collector.entries(), partial=not completed)
+        if trace is not None:
+            trace.num_results = len(result)
+        return result
+
+    def _resolve_terms(self, keywords: FrozenSet[str],
+                       conjunctive: bool) -> Optional[FrozenSet[int]]:
+        key = (keywords, conjunctive)
+        if key not in self._term_cache:
+            if len(self._term_cache) >= _PLAN_CACHE_LIMIT:
+                self._term_cache.clear()
+            self._term_cache[key] = self._collection.query_term_ids(
+                keywords, require_all=conjunctive)
+        return self._term_cache[key]
+
+    def _prepare_subqueries(self, query: DirectionalQuery,
+                            term_ids: Iterable[int],
+                            ) -> List[_KernelSubquery]:
+        conjunctive = query.match_mode is MatchMode.ALL
+        term_key = tuple(sorted(term_ids))
+        subqueries: List[_KernelSubquery] = []
+        for quadrant, piece in query.basic_subqueries():
+            columns = self.snapshot.anchor_columns(quadrant)
+            plan = self._plan_for(columns, term_key, conjunctive)
+            if plan is None:
+                continue
+            geometry = basic_geometry(
+                columns.frame, query.location,
+                columns.frame.basic_interval(piece))
+            subqueries.append(_KernelSubquery(quadrant, columns, geometry,
+                                              plan))
+        return subqueries
+
+    def _plan_for(self, columns: AnchorColumns, term_key: Tuple[int, ...],
+                  conjunctive: bool) -> Optional[_TermPlan]:
+        key = (columns.quadrant, term_key, conjunctive)
+        if key in self._plan_cache:
+            return self._plan_cache[key]
+        if len(self._plan_cache) >= _PLAN_CACHE_LIMIT:
+            self._plan_cache.clear()
+        term_positions: Optional[List["np.ndarray"]] = []
+        gid_runs: List["np.ndarray"] = []
+        for term_id in term_key:
+            term_columns = columns.terms.get(term_id)
+            if term_columns is None:
+                if conjunctive:
+                    term_positions = None
+                    break
+                continue  # ANY: a missing keyword contributes nothing
+            term_positions.append(term_columns.positions)
+            gid_runs.append(term_columns.region_gids)
+        plan: Optional[_TermPlan] = None
+        if term_positions:
+            if conjunctive:
+                gids = gid_runs[0]
+                for other in gid_runs[1:]:
+                    gids = np.intersect1d(gids, other, assume_unique=True)
+            elif len(gid_runs) == 1:
+                gids = gid_runs[0]
+            else:
+                gids = np.unique(np.concatenate(gid_runs))
+            if gids.size:
+                plan = _TermPlan(gids, term_positions, conjunctive)
+        self._plan_cache[key] = plan
+        return plan
+
+    def _run(self, query: DirectionalQuery,
+             subqueries: List[_KernelSubquery], collector: _TopK,
+             mode: PruningMode, stats: Optional[SearchStats],
+             trace: Optional[QueryTrace] = None,
+             deadline: Optional["SupportsExpired"] = None) -> bool:
+        """The shared band queue of Algorithm 2 — scalar, as in core."""
+        heap: List[Tuple[float, int, int, _KernelSubquery]] = []
+        seq = 0
+
+        def push_band(sub: _KernelSubquery, band_idx: int) -> None:
+            nonlocal seq
+            bands = sub.columns.regions.bands
+            if band_idx >= len(bands):
+                return
+            heapq.heappush(
+                heap,
+                (self._band_priority(sub, bands[band_idx], mode),
+                 seq, band_idx, sub))
+            seq += 1
+
+        for sub in subqueries:
+            start = self._initial_band(sub, mode)
+            if trace is not None:
+                trace.record_subquery(
+                    sub.quadrant, sub.geometry.alpha, sub.geometry.beta,
+                    start, int(sub.plan.candidate_gids.size))
+            push_band(sub, start)
+
+        while heap:
+            if deadline is not None and deadline.expired():
+                return False
+            priority, _, band_idx, sub = heapq.heappop(heap)
+            if priority is INF:
+                continue
+            if mode.region and priority >= collector.kth_distance:
+                if trace is not None:
+                    trace.record_termination(sub.quadrant, band_idx,
+                                             priority)
+                break
+            if stats is not None:
+                stats.regions_examined += 1
+            band = sub.columns.regions.bands[band_idx]
+            band_trace = (trace.begin_band(sub.quadrant, band_idx, priority)
+                          if trace is not None else None)
+            if band_trace is not None:
+                tick = time.perf_counter()
+            completed = self._scan_band(query, sub, band, collector, mode,
+                                        stats, band_trace, deadline)
+            if band_trace is not None:
+                band_trace.seconds = time.perf_counter() - tick
+            if not completed:
+                return False
+            push_band(sub, band_idx + 1)
+        return True
+
+    def _initial_band(self, sub: _KernelSubquery, mode: PruningMode) -> int:
+        if mode.region and sub.geometry.inside_rect:
+            return sub.columns.regions.band_of_distance(sub.geometry.qd)
+        return 0
+
+    def _band_priority(self, sub: _KernelSubquery, band: Band,
+                       mode: PruningMode) -> float:
+        if mode.region:
+            return band_mindist(sub.geometry, band.inner_radius,
+                                band.outer_radius)
+        return float(band.index)
+
+    # -- FindCandRegions (scalar) + FindCandPOIs (vectorised) --------------------
+
+    def _scan_band(self, query: DirectionalQuery, sub: _KernelSubquery,
+                   band: Band, collector: _TopK, mode: PruningMode,
+                   stats: Optional[SearchStats],
+                   band_trace: Optional[BandTrace] = None,
+                   deadline: Optional["SupportsExpired"] = None) -> bool:
+        candidates = self._candidate_subregions(sub, band, collector, mode,
+                                                stats, band_trace)
+        scanned = 0
+        completed = True
+        band_positions: Optional[Tuple["np.ndarray", "np.ndarray"]] = None
+        for position, (mindist, subregion_gid) in enumerate(candidates):
+            if mode.direction and mindist >= collector.kth_distance:
+                if band_trace is not None:
+                    band_trace.subregions_mindist_pruned += \
+                        len(candidates) - position
+                break
+            if deadline is not None and deadline.expired():
+                completed = False
+                break
+            scanned += 1
+            if band_positions is None:
+                band_positions = sub.plan.band_positions(
+                    band, sub.columns.sub_starts)
+            if band_trace is not None:
+                fetched = band_trace.pois_fetched
+                verified = band_trace.pois_verified
+                tick = time.perf_counter()
+            self._scan_wedge(query, sub, band_positions,
+                             subregion_gid - band.first_gid, collector,
+                             stats, band_trace)
+            if band_trace is not None:
+                band_trace.wedges.append(WedgeTrace(
+                    subregion_gid, mindist,
+                    time.perf_counter() - tick,
+                    band_trace.pois_fetched - fetched,
+                    band_trace.pois_verified - verified,
+                    0))  # arrays are resident: a wedge never reads a page
+        if band_trace is not None:
+            band_trace.subregions_kept = scanned
+        return completed
+
+    def _candidate_subregions(self, sub: _KernelSubquery, band: Band,
+                              collector: _TopK, mode: PruningMode,
+                              stats: Optional[SearchStats],
+                              band_trace: Optional[BandTrace] = None,
+                              ) -> List[Tuple[float, int]]:
+        """FINDCANDREGIONS, verbatim scalar bounds over array gid runs."""
+        regions = sub.columns.regions
+        geo = sub.geometry
+        first_gid = band.first_gid
+        end_gid = first_gid + len(band.subregions)
+        if mode.direction:
+            tau_lo, tau_hi = sub.band_bounds(band)
+            lo_idx, hi_idx = regions.candidate_wedge_range(band, tau_lo,
+                                                           tau_hi)
+            gid_lo, gid_hi = first_gid + lo_idx, first_gid + hi_idx
+            if band_trace is not None:
+                band_trace.tau_bounds = (tau_lo, tau_hi)
+                band_trace.wedge_window = (lo_idx, hi_idx)
+        else:
+            gid_lo, gid_hi = first_gid, end_gid
+        gids = sub.plan.candidate_gids
+        start = int(np.searchsorted(gids, gid_lo))
+        end = int(np.searchsorted(gids, gid_hi))
+        if band_trace is not None and mode.direction:
+            in_band = (int(np.searchsorted(gids, end_gid))
+                       - int(np.searchsorted(gids, first_gid)))
+            band_trace.subregions_window_pruned = in_band - (end - start)
+            band_trace.mindist_evaluations = end - start
+        out: List[Tuple[float, int]] = []
+        pruned = 0
+        for gid in gids[start:end].tolist():
+            if stats is not None:
+                stats.subregions_examined += 1
+            if mode.direction:
+                wedge = regions.subregions[gid]
+                mindist = subregion_mindist(
+                    geo, band.inner_radius, band.outer_radius,
+                    wedge.theta_lo, wedge.theta_hi)
+                if mindist >= collector.kth_distance:
+                    pruned += 1
+                    continue
+            else:
+                mindist = 0.0
+            out.append((mindist, gid))
+        if band_trace is not None:
+            band_trace.subregions_mindist_pruned = pruned
+        out.sort()
+        return out
+
+    def _scan_wedge(self, query: DirectionalQuery, sub: _KernelSubquery,
+                    band_positions: Tuple["np.ndarray", "np.ndarray"],
+                    wedge_index: int, collector: _TopK,
+                    stats: Optional[SearchStats],
+                    band_trace: Optional[BandTrace] = None) -> None:
+        """FINDCANDPOIS over one wedge's contiguous array slice."""
+        columns = sub.columns
+        positions, offsets = band_positions
+        lo = offsets[wedge_index]
+        hi = offsets[wedge_index + 1]
+        count = int(hi - lo)
+        if count == 0:
+            return
+        survivors = positions[lo:hi]
+        if stats is not None:
+            stats.pois_examined += count
+            stats.distance_computations += count
+        if band_trace is not None:
+            band_trace.pois_fetched += count
+        location = query.location
+        dxs = columns.xs[survivors] - location.x
+        dys = columns.ys[survivors] - location.y
+        coincident = (dxs == 0.0) & (dys == 0.0)
+        interval = query.interval
+        if interval.upper - interval.lower >= TWO_PI - ANGLE_EPS:
+            verified = np.ones(count, dtype=bool)
+        else:
+            inside, borderline = arc_contains_vectors(
+                dxs, dys, interval.lower, interval.upper,
+                _DIRECTION_SLACK)
+            if borderline.any():
+                recheck = np.nonzero(borderline & ~coincident)[0]
+                for position in recheck.tolist():
+                    inside[position] = interval.contains(
+                        angle_of(float(dxs[position]), float(dys[position])))
+            verified = inside | coincident
+        verified_count = int(np.count_nonzero(verified))
+        if stats is not None:
+            stats.candidates_verified += verified_count
+        if band_trace is not None:
+            band_trace.pois_verified += verified_count
+        if verified_count == 0:
+            return
+        kth = collector.kth_distance
+        offered = np.nonzero(verified)[0]
+        approx = np.hypot(dxs[offered], dys[offered])
+        if not math.isinf(kth):
+            keep = approx <= kth * (1.0 + _KTH_SLACK)
+            offered = offered[keep]
+            approx = approx[keep]
+        if offered.size == 0:
+            return
+        poi_ids = columns.poi_ids[survivors[offered]]
+        # Ascending by approximate distance: once one candidate's widened
+        # approximation exceeds the live d_k, every later one must too
+        # (exact distance is within one ulp of the approximation, far
+        # inside the slack), so the tail is cut without measuring it.
+        for rank in np.argsort(approx, kind="stable").tolist():
+            if approx[rank] > collector.kth_distance * (1.0 + _KTH_SLACK):
+                break
+            position = int(offered[rank])
+            distance = math.hypot(dxs[position], dys[position])
+            if distance < collector.kth_distance:
+                collector.add(int(poi_ids[rank]), distance)

@@ -1,0 +1,161 @@
+"""The frozen columnar image of a DesksIndex.
+
+The object-path index stores POIs behind keyword stores and per-POI
+``Point`` objects; the hot loop pays one attribute walk per POI.  The
+snapshot lays the same data out as parallel arrays, position-indexed by
+each anchor's ``poi_order`` (band-major, direction-sorted — the paper's
+``LP_k`` sort key), so one wedge of one band is one contiguous slice
+everywhere:
+
+========================  =======  ==============================================
+array                     dtype    invariant
+========================  =======  ==============================================
+``AnchorColumns.xs``      float64  world x of the POI at each position
+``AnchorColumns.ys``      float64  world y of the POI at each position
+``AnchorColumns.poi_ids`` int64    ``poi_order`` itself: position -> POI id
+``AnchorColumns.sub_starts`` int64 ``num_subregions + 1`` slice bounds; wedge
+                                   ``gid`` spans ``[sub_starts[gid],
+                                   sub_starts[gid + 1])``
+``TermColumns.positions`` int64    sorted positions of the keyword's POIs (the
+                                   id runs: contiguous per wedge by construction)
+``TermColumns.region_gids`` int64  sorted unique wedge gids containing the term
+========================  =======  ==============================================
+
+Coordinates are **world** coordinates, not canonical-frame ones, so the
+kernel's ``xs[pos] - q.x`` is the same IEEE subtraction the object path
+performs in ``Point.distance_to`` / ``direction_to`` — the root of the
+bit-exactness guarantee.  Geometry that is already cheap and shared
+(``bands``, ``subregions``, ``candidate_wedge_range``) is referenced
+from the existing :class:`~repro.core.regions.AnchorRegions`, not
+copied.
+
+The snapshot is frozen: it images the index at compile time and never
+observes later mutations, which is why the service layer refuses to
+pair it with a ``MutableDesksIndex``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..core.index import DesksIndex
+from ..core.regions import AnchorRegions
+from ..geometry import CanonicalFrame
+
+
+@dataclass(frozen=True)
+class TermColumns:
+    """One keyword's id runs inside one anchor's positional layout."""
+
+    #: Sorted positions (into ``poi_order``) of the POIs carrying the term.
+    positions: "np.ndarray"
+    #: Sorted unique gids of the wedges containing at least one such POI.
+    region_gids: "np.ndarray"
+
+
+class AnchorColumns:
+    """Struct-of-arrays image of one anchor corner (see module docstring)."""
+
+    __slots__ = ("quadrant", "frame", "regions", "xs", "ys", "poi_ids",
+                 "sub_starts", "terms")
+
+    def __init__(self, quadrant: int, frame: CanonicalFrame,
+                 regions: AnchorRegions, xs: "np.ndarray", ys: "np.ndarray",
+                 poi_ids: "np.ndarray", sub_starts: "np.ndarray",
+                 terms: Dict[int, TermColumns]) -> None:
+        self.quadrant = quadrant
+        self.frame = frame
+        self.regions = regions
+        self.xs = xs
+        self.ys = ys
+        self.poi_ids = poi_ids
+        self.sub_starts = sub_starts
+        self.terms = terms
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes held by this anchor's arrays (term columns included)."""
+        total = (self.xs.nbytes + self.ys.nbytes + self.poi_ids.nbytes
+                 + self.sub_starts.nbytes)
+        for columns in self.terms.values():
+            total += columns.positions.nbytes + columns.region_gids.nbytes
+        return total
+
+
+def _compile_anchor(quadrant: int, frame: CanonicalFrame,
+                    regions: AnchorRegions, world_x: "np.ndarray",
+                    world_y: "np.ndarray",
+                    terms_by_poi: List[List[int]]) -> AnchorColumns:
+    """Lay one anchor's POIs and keyword runs out positionally."""
+    order = np.asarray(regions.poi_order, dtype=np.int64)
+    count = order.size
+    sizes = np.fromiter((sub.size for sub in regions.subregions),
+                        dtype=np.int64, count=regions.num_subregions)
+    sub_starts = np.zeros(regions.num_subregions + 1, dtype=np.int64)
+    np.cumsum(sizes, out=sub_starts[1:])
+    gid_by_position = np.repeat(
+        np.arange(regions.num_subregions, dtype=np.int64), sizes)
+    position_of = np.empty(count, dtype=np.int64)
+    position_of[order] = np.arange(count, dtype=np.int64)
+    runs: Dict[int, List[int]] = {}
+    for poi_id in range(count):
+        position = int(position_of[poi_id])
+        for term_id in terms_by_poi[poi_id]:
+            runs.setdefault(term_id, []).append(position)
+    terms = {}
+    for term_id, positions in runs.items():
+        sorted_positions = np.sort(np.asarray(positions, dtype=np.int64))
+        terms[term_id] = TermColumns(
+            sorted_positions,
+            np.unique(gid_by_position[sorted_positions]))
+    return AnchorColumns(quadrant, frame, regions, world_x[order],
+                         world_y[order], order, sub_starts, terms)
+
+
+class ColumnarSnapshot:
+    """A frozen, position-indexed image of every built anchor."""
+
+    def __init__(self, index: DesksIndex) -> None:
+        tick = time.perf_counter()
+        self.index = index
+        self.collection = index.collection
+        count = len(self.collection)
+        world_x = np.empty(count, dtype=np.float64)
+        world_y = np.empty(count, dtype=np.float64)
+        terms_by_poi: List[List[int]] = []
+        for poi_id in range(count):
+            location = self.collection.location(poi_id)
+            world_x[poi_id] = location.x
+            world_y[poi_id] = location.y
+            terms_by_poi.append(sorted(self.collection.term_ids(poi_id)))
+        self.anchors: List[Optional[AnchorColumns]] = [None] * 4
+        for quadrant, anchor in enumerate(index.anchors):
+            if anchor is None:
+                continue
+            self.anchors[quadrant] = _compile_anchor(
+                quadrant, anchor.frame, anchor.regions, world_x, world_y,
+                terms_by_poi)
+        self.build_seconds = time.perf_counter() - tick
+
+    @classmethod
+    def from_index(cls, index: DesksIndex) -> "ColumnarSnapshot":
+        """Compile ``index`` into a snapshot (alias for the constructor)."""
+        return cls(index)
+
+    def anchor_columns(self, quadrant: int) -> AnchorColumns:
+        """The columnar image for ``quadrant``; raises if it wasn't built."""
+        columns = self.anchors[quadrant]
+        if columns is None:
+            raise ValueError(
+                f"anchor {quadrant} was not built for this index")
+        return columns
+
+    @property
+    def nbytes(self) -> int:
+        """Total bytes held by the snapshot's arrays."""
+        return sum(columns.nbytes for columns in self.anchors
+                   if columns is not None)

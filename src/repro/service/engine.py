@@ -31,7 +31,7 @@ import queue
 import time
 from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import dataclass
-from typing import Dict, Hashable, List, Optional, Sequence, Union
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple, Union
 
 from ..analysis import make_lock
 from ..core import (
@@ -42,6 +42,7 @@ from ..core import (
     PruningMode,
     QueryResult,
 )
+from ..kernel import ColumnarSearcher, ColumnarSnapshot
 from ..storage import PageCorruptionError, SearchStats
 from ..trace import TraceSink, Tracer, current_tracer, traced
 from .cache import ResultCache
@@ -84,11 +85,25 @@ class QueryEngine:
                  default_timeout: Optional[float] = None,
                  metrics: Optional[MetricsRegistry] = None,
                  executor: Optional[ThreadPoolExecutor] = None,
-                 tracing: bool = False) -> None:
+                 tracing: bool = False,
+                 kernel: str = "object",
+                 snapshot: Optional[ColumnarSnapshot] = None) -> None:
         if num_workers <= 0:
             raise ValueError(f"num_workers must be positive: {num_workers}")
+        if kernel not in ("object", "columnar"):
+            raise ValueError(
+                f"kernel must be 'object' or 'columnar': {kernel!r}")
+        if kernel == "columnar" and isinstance(index, MutableDesksIndex):
+            raise ValueError(
+                "kernel='columnar' requires a static DesksIndex: the "
+                "columnar snapshot is frozen at compile time and cannot "
+                "follow mutations")
+        if snapshot is not None and snapshot.index is not index:
+            raise ValueError(
+                "the supplied snapshot was compiled from a different index")
         self.index = index
         self.mode = mode
+        self.kernel = kernel
         self.default_timeout = default_timeout
         self.cache = cache if cache is not None else ResultCache(
             cache_capacity, location_quantum)
@@ -105,14 +120,27 @@ class QueryEngine:
             # frees memory promptly and keeps the hit-rate metric honest.
             index.subscribe(
                 lambda gen: self.cache.invalidate_older_than(gen))
-            self._searchers: Optional["queue.Queue[DesksSearcher]"] = None
+            self._searchers = None
+            self.snapshot: Optional[ColumnarSnapshot] = None
         else:
             # A searcher is cheap (two references), but pooling them keeps
             # per-worker state possible later (e.g. per-searcher buffers)
-            # and bounds concurrent index scans to the pool size.
-            pool: "queue.Queue[DesksSearcher]" = queue.Queue()
+            # and bounds concurrent index scans to the pool size.  The
+            # columnar kernel compiles ONE shared snapshot (the arrays are
+            # read-only; callers may pass a pre-compiled one so e.g. all
+            # replicas of a shard share it) and gives each worker its own
+            # searcher so the per-searcher plan caches are uncontended.
+            if kernel == "columnar":
+                self.snapshot = (snapshot if snapshot is not None
+                                 else ColumnarSnapshot(index))
+            else:
+                self.snapshot = None
+            pool: "queue.Queue" = queue.Queue()
             for _ in range(num_workers):
-                pool.put(DesksSearcher(index))
+                if self.snapshot is not None:
+                    pool.put(ColumnarSearcher(self.snapshot))
+                else:
+                    pool.put(DesksSearcher(index))
             self._searchers = pool
         # An externally supplied executor lets many engines (e.g. the
         # cluster's per-shard replicas) share one thread pool instead of
@@ -235,20 +263,67 @@ class QueryEngine:
         The returned list is index-aligned with ``queries``; entries whose
         canonical key repeats an earlier entry receive the *same* future
         object, so a batch of 100 copies of one query costs one search.
+
+        On a columnar engine the unique queries are chunked into at most
+        ``num_workers`` contiguous groups and each group runs as ONE pool
+        task instead of one task per query: the batch pays executor
+        hand-off once per chunk, and the pool's
+        :class:`~repro.kernel.ColumnarSearcher`\\ s — all views over one
+        shared snapshot — keep their term-plan caches warm across the
+        whole batch.
         """
         futures: List["Future[ServiceResponse]"] = []
         first_seen: Dict[Hashable, "Future[ServiceResponse]"] = {}
+        unique: List[Tuple[DirectionalQuery, "Future[ServiceResponse]"]] = []
         for query in queries:
             key = self.cache.key_for(query)
             future = first_seen.get(key)
             if future is None:
-                future = self.submit(query, timeout)
+                if self.kernel == "columnar":
+                    future = Future()
+                    unique.append((query, future))
+                else:
+                    future = self.submit(query, timeout)
                 first_seen[key] = future
                 self.metrics.counter("batch_unique_total").increment()
             else:
                 self.metrics.counter("batch_deduped_total").increment()
             futures.append(future)
+        if unique:
+            self._submit_chunks(unique, timeout)
         return futures
+
+    def _submit_chunks(
+            self,
+            pairs: List[Tuple[DirectionalQuery, "Future[ServiceResponse]"]],
+            timeout: Optional[float]) -> None:
+        """Spread ``pairs`` over the pool as contiguous chunk tasks."""
+        chunk_count = min(self.num_workers, len(pairs))
+        size, extra = divmod(len(pairs), chunk_count)
+        chunks = []
+        start = 0
+        for i in range(chunk_count):
+            end = start + size + (1 if i < extra else 0)
+            chunks.append(pairs[start:end])
+            start = end
+        with self._lifecycle_lock:
+            if self._closed:
+                raise RuntimeError("engine is closed")
+            for chunk in chunks:
+                self._executor.submit(self._run_batch_chunk, chunk, timeout)
+
+    def _run_batch_chunk(
+            self,
+            chunk: List[Tuple[DirectionalQuery, "Future[ServiceResponse]"]],
+            timeout: Optional[float]) -> None:
+        """Serve one batch chunk sequentially, fulfilling each future."""
+        for query, future in chunk:
+            if not future.set_running_or_notify_cancel():
+                continue
+            try:
+                future.set_result(self.execute(query, timeout))
+            except BaseException as exc:  # pragma: no cover - defensive
+                future.set_exception(exc)
 
     # -- lifecycle ----------------------------------------------------------
 

@@ -66,6 +66,7 @@ def run_closed_loop(engine: QueryEngine,
                     duration_seconds: Optional[float] = None,
                     think_time: float = 0.0,
                     timeout: Optional[float] = None,
+                    batch_size: int = 1,
                     ) -> WorkloadReport:
     """Drive ``engine`` with ``num_clients`` synchronous client threads.
 
@@ -73,11 +74,19 @@ def run_closed_loop(engine: QueryEngine,
     or ``duration_seconds`` (wall-clock bound, bench-friendly) must be
     given.  Each client blocks on its own query's future — the closed
     loop — then sleeps ``think_time`` seconds before the next request.
+
+    ``batch_size > 1`` models batching clients: each loop iteration
+    gathers that many consecutive queries from the client's stride and
+    issues them as ONE ``engine.submit_batch`` call, blocking until the
+    whole batch answers (one think pause per batch).  On a columnar
+    engine this is the path that amortises kernel plan construction.
     """
     if not queries:
         raise ValueError("the workload needs at least one query")
     if num_clients <= 0:
         raise ValueError(f"num_clients must be positive: {num_clients}")
+    if batch_size < 1:
+        raise ValueError(f"batch_size must be >= 1: {batch_size}")
     if (requests_per_client is None) == (duration_seconds is None):
         raise ValueError("give exactly one of requests_per_client or "
                          "duration_seconds")
@@ -100,18 +109,29 @@ def run_closed_loop(engine: QueryEngine,
                 break
             if stop_at is not None and time.monotonic() >= stop_at:
                 break
-            query = queries[position % len(queries)]
-            position += num_clients
+            take = batch_size
+            if requests_per_client is not None:
+                take = min(take, requests_per_client - issued)
+            batch = []
+            for _ in range(take):
+                batch.append(queries[position % len(queries)])
+                position += num_clients
             try:
-                response = engine.submit(query, timeout).result()
+                if take == 1:
+                    responses = [engine.submit(batch[0], timeout).result()]
+                else:
+                    responses = [
+                        future.result()
+                        for future in engine.submit_batch(batch, timeout)]
             except Exception as exc:  # noqa: BLE001 - reported, not lost
                 with errors_lock:
                     errors.append(f"{type(exc).__name__}: {exc}")
                 break
-            issued += 1
+            issued += len(responses)
             counts[client_id] = issued
-            if response.partial:
-                partials[client_id] += 1
+            for response in responses:
+                if response.partial:
+                    partials[client_id] += 1
             if think_time > 0.0:
                 time.sleep(think_time)
 

@@ -227,6 +227,13 @@ class TestNondeterminism:
                     path="src/repro/service/metrics.py",
                     rules=self.RULE) == []
 
+    def test_kernel_package_is_scoped(self):
+        # The columnar kernel's bit-exactness contract makes it a
+        # deterministic path like core/geometry.
+        assert codes(lint("import time\nt0 = time.time()\n",
+                          path="src/repro/kernel/search.py",
+                          rules=self.RULE)) == ["DAL006"]
+
     def test_monotonic_ok(self):
         # Durations may use the monotonic clock; only wall-clock reads
         # threaten reproducibility of recorded artifacts.

@@ -1,0 +1,88 @@
+"""Shared fixtures for the columnar-kernel tests.
+
+The equivalence suite's corpus deliberately spans the three interval
+shapes with different control flow in the scan — full circle (the
+vector path's everything-inside shortcut), wraparound (the ``fmod``
+fold's seam), and narrow wedges (borderline-heavy, the scalar-recheck
+path) — because those are exactly the places an ulp of ``np.arctan2``
+drift could change an answer.
+"""
+
+import math
+import random
+
+import pytest
+
+from repro.core import DesksIndex, DesksSearcher, DirectionalQuery
+from repro.datasets import POI, POICollection
+from repro.geometry import TWO_PI
+from repro.kernel import ColumnarSearcher, ColumnarSnapshot
+
+KEYWORD_POOL = ["cafe", "food", "gas", "atm", "pizza", "bank", "hotel",
+                "park"]
+EXTENT = 100.0
+QUERIES_PER_FAMILY = 80
+
+
+def make_collection(n=400, seed=42):
+    rng = random.Random(seed)
+    pois = []
+    for i in range(n):
+        kws = rng.sample(KEYWORD_POOL, rng.randint(1, 3))
+        pois.append(POI.make(i, rng.uniform(0, EXTENT),
+                             rng.uniform(0, EXTENT), kws))
+    return POICollection(pois)
+
+
+def _query(rng, lower, width):
+    return DirectionalQuery.make(
+        rng.uniform(-10.0, EXTENT + 10.0), rng.uniform(-10.0, EXTENT + 10.0),
+        lower, lower + width,
+        rng.sample(KEYWORD_POOL, rng.randint(1, 2)),
+        rng.choice([1, 5, 10]))
+
+
+def make_corpus(seed=7):
+    """The 240-query corpus: 80 each full-circle / wraparound / narrow."""
+    rng = random.Random(seed)
+    corpus = []
+    for _ in range(QUERIES_PER_FAMILY):  # full circle
+        corpus.append(_query(rng, rng.uniform(0.0, TWO_PI), TWO_PI))
+    for _ in range(QUERIES_PER_FAMILY):  # wraps through 0 == 2*pi
+        lower = rng.uniform(0.75 * TWO_PI, TWO_PI)
+        corpus.append(_query(rng, lower, rng.uniform(0.3 * math.pi,
+                                                     0.9 * math.pi)))
+    for _ in range(QUERIES_PER_FAMILY):  # narrow wedge
+        corpus.append(_query(rng, rng.uniform(0.0, TWO_PI),
+                             rng.uniform(0.05, 0.3)))
+    return corpus
+
+
+@pytest.fixture(scope="session")
+def collection():
+    return make_collection()
+
+
+@pytest.fixture(scope="session")
+def index(collection):
+    return DesksIndex(collection, num_bands=4, num_wedges=6)
+
+
+@pytest.fixture(scope="session")
+def snapshot(index):
+    return ColumnarSnapshot(index)
+
+
+@pytest.fixture(scope="session")
+def object_searcher(index):
+    return DesksSearcher(index)
+
+
+@pytest.fixture(scope="session")
+def columnar_searcher(snapshot):
+    return ColumnarSearcher(snapshot)
+
+
+@pytest.fixture(scope="session")
+def corpus():
+    return make_corpus()

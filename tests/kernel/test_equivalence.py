@@ -1,0 +1,124 @@
+"""Bit-exact equivalence of the columnar kernel against the object path.
+
+The contract under test is the strongest one the kernel can make: for
+every query, :class:`~repro.kernel.ColumnarSearcher` returns the SAME
+entries (ids and IEEE-754 bit patterns of the distances), in the same
+order, with the SAME :class:`~repro.storage.SearchStats` — pruning
+counters included — as :class:`~repro.core.DesksSearcher`.  Identical
+counters are the evidence that the kernel executes the *paper's*
+algorithm, not a rephrasing that happens to agree on answers.
+"""
+
+import math
+
+import pytest
+
+from repro.core import DirectionalQuery, MatchMode, PruningMode
+from repro.service import Deadline
+from repro.storage import SearchStats
+from repro.trace import explain
+
+MODES = [PruningMode.RD, PruningMode.R, PruningMode.D]
+
+
+def entries_of(result):
+    return [(entry.poi_id, entry.distance) for entry in result.entries]
+
+
+@pytest.mark.parametrize("mode", MODES, ids=lambda m: m.name)
+def test_corpus_bit_identical(object_searcher, columnar_searcher, corpus,
+                              mode):
+    for query in corpus:
+        expected_stats = SearchStats()
+        actual_stats = SearchStats()
+        expected = object_searcher.search(query, mode, expected_stats)
+        actual = columnar_searcher.search(query, mode, actual_stats)
+        assert entries_of(actual) == entries_of(expected)
+        assert actual.partial == expected.partial
+        assert actual_stats == expected_stats
+
+
+def test_search_batch_matches_query_loop(object_searcher, columnar_searcher,
+                                         corpus):
+    batch = corpus[::5]
+    stats = [SearchStats() for _ in batch]
+    results = columnar_searcher.search_batch(batch, stats=stats)
+    assert len(results) == len(batch)
+    for query, result, batch_stats in zip(batch, results, stats):
+        loop_stats = SearchStats()
+        expected = object_searcher.search(query, PruningMode.RD, loop_stats)
+        assert entries_of(result) == entries_of(expected)
+        assert batch_stats == loop_stats
+
+
+def test_search_batch_rejects_misaligned_stats(columnar_searcher, corpus):
+    with pytest.raises(ValueError):
+        columnar_searcher.search_batch(corpus[:3], stats=[SearchStats()])
+
+
+def test_explain_reconciles_on_columnar_path(columnar_searcher, corpus):
+    for query in corpus[::24]:  # 10 queries across all three families
+        report = explain(columnar_searcher, query)
+        assert report.reconciled, report.reconciliation
+
+
+def test_any_mode_with_unknown_keyword(object_searcher, columnar_searcher):
+    query = DirectionalQuery.make(50.0, 50.0, 0.5, 4.0,
+                                  ["cafe", "no-such-term"], 5,
+                                  match_mode=MatchMode.ANY)
+    expected = object_searcher.search(query)
+    actual = columnar_searcher.search(query)
+    assert entries_of(actual) == entries_of(expected)
+    assert len(actual) > 0
+
+
+def test_all_mode_with_unknown_keyword_is_empty(object_searcher,
+                                                columnar_searcher):
+    query = DirectionalQuery.make(50.0, 50.0, 0.5, 4.0,
+                                  ["cafe", "no-such-term"], 5)
+    expected = object_searcher.search(query)
+    actual = columnar_searcher.search(query)
+    assert entries_of(actual) == entries_of(expected) == []
+
+
+def test_query_at_poi_location(collection, object_searcher,
+                               columnar_searcher):
+    # A query sitting exactly on a POI exercises the coincident-point
+    # guard (direction undefined, distance 0, always a match).
+    location = collection.location(0)
+    keywords = list(collection[0].keywords)[:1]
+    query = DirectionalQuery.make(location.x, location.y, 1.0, 2.0,
+                                  keywords, 3)
+    expected = object_searcher.search(query)
+    actual = columnar_searcher.search(query)
+    assert entries_of(actual) == entries_of(expected)
+    assert entries_of(actual)[0] == (0, 0.0)
+
+
+def test_seed_entries_bound_respected(object_searcher, columnar_searcher,
+                                      corpus):
+    query = corpus[10]
+    seed = object_searcher.search(query).entries[:2]
+    expected = object_searcher.search(query, seed_entries=seed)
+    actual = columnar_searcher.search(query, seed_entries=seed)
+    assert entries_of(actual) == entries_of(expected)
+
+
+def test_expired_deadline_is_partial(columnar_searcher, corpus):
+    deadline = Deadline.from_timeout(0.0)
+    while not deadline.expired():
+        pass
+    result = columnar_searcher.search(corpus[0], deadline=deadline)
+    assert result.partial
+
+
+def test_distances_are_bitwise_not_approximately(object_searcher,
+                                                 columnar_searcher, corpus):
+    # Spell the strict claim out once: equality of the float bits, not
+    # closeness under a tolerance.
+    for query in corpus[:20]:
+        expected = object_searcher.search(query)
+        actual = columnar_searcher.search(query)
+        for ours, theirs in zip(actual.entries, expected.entries):
+            assert math.isfinite(ours.distance)
+            assert ours.distance.hex() == theirs.distance.hex()

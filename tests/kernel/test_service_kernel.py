@@ -1,0 +1,120 @@
+"""The ``kernel`` axis through the serving and cluster layers.
+
+``QueryEngine(kernel="columnar")``, batched submission, the closed-loop
+generator's ``batch_size``, and ``ShardRouter(kernel=...)`` must all
+give the object path's answers — the axis changes throughput, never
+results.
+"""
+
+import pytest
+
+from repro.core import MutableDesksIndex
+from repro.kernel import ColumnarSnapshot
+from repro.service import QueryEngine, run_closed_loop
+
+
+def entries_of(result):
+    return [(entry.poi_id, entry.distance) for entry in result.entries]
+
+
+@pytest.fixture()
+def engines(index):
+    with QueryEngine(index, num_workers=2, cache_capacity=4) as obj, \
+            QueryEngine(index, num_workers=2, cache_capacity=4,
+                        kernel="columnar") as columnar:
+        yield obj, columnar
+
+
+def test_engine_execute_equivalence(engines, corpus):
+    obj, columnar = engines
+    for query in corpus[::10]:
+        expected = obj.execute(query)
+        actual = columnar.execute(query)
+        assert entries_of(actual.result) == entries_of(expected.result)
+
+
+def test_engine_rejects_unknown_kernel(index):
+    with pytest.raises(ValueError, match="kernel"):
+        QueryEngine(index, kernel="simd")
+
+
+def test_engine_rejects_mutable_index(collection):
+    with pytest.raises(ValueError, match="static"):
+        QueryEngine(MutableDesksIndex(collection), kernel="columnar")
+
+
+def test_engine_rejects_foreign_snapshot(index, collection):
+    from repro.core import DesksIndex
+
+    other = ColumnarSnapshot(DesksIndex(collection, num_bands=2,
+                                        num_wedges=4))
+    with pytest.raises(ValueError, match="different index"):
+        QueryEngine(index, kernel="columnar", snapshot=other)
+
+
+def test_engine_shares_supplied_snapshot(index, snapshot):
+    with QueryEngine(index, kernel="columnar", snapshot=snapshot) as engine:
+        assert engine.snapshot is snapshot
+
+
+def test_submit_batch_chunks_and_dedupes(engines, corpus):
+    obj, columnar = engines
+    batch = corpus[:12] + corpus[:3]  # 12 unique + 3 duplicates
+    futures = columnar.submit_batch(batch)
+    assert len(futures) == 15
+    for repeat in range(3):
+        assert futures[12 + repeat] is futures[repeat]
+    for query, future in zip(batch, futures):
+        expected = obj.execute(query)
+        assert entries_of(future.result().result) == \
+            entries_of(expected.result)
+    metrics = columnar.metrics
+    assert metrics.counter("batch_unique_total").value == 12
+    assert metrics.counter("batch_deduped_total").value == 3
+
+
+def test_submit_batch_after_close_raises(index):
+    engine = QueryEngine(index, kernel="columnar")
+    engine.close()
+    with pytest.raises(RuntimeError, match="closed"):
+        engine.submit_batch(_three_queries())
+
+
+def _three_queries():
+    from repro.core import DirectionalQuery
+
+    return [DirectionalQuery.make(50.0, 50.0, 0.1, 2.0, ["cafe"], k)
+            for k in (1, 2, 3)]
+
+
+def test_closed_loop_batch_size(index, corpus):
+    with QueryEngine(index, num_workers=2, kernel="columnar") as engine:
+        report = run_closed_loop(engine, corpus[:10], num_clients=2,
+                                 requests_per_client=7, batch_size=3)
+    assert report.total_queries == 14
+    assert report.errors == 0
+
+
+def test_closed_loop_rejects_bad_batch_size(index, corpus):
+    with QueryEngine(index, kernel="columnar") as engine:
+        with pytest.raises(ValueError, match="batch_size"):
+            run_closed_loop(engine, corpus[:4], num_clients=1,
+                            requests_per_client=2, batch_size=0)
+
+
+def test_router_kernel_axis_equivalence(collection, corpus):
+    from repro.cluster import ShardRouter
+
+    with ShardRouter(collection, num_shards=3, replication=2) as obj, \
+            ShardRouter(collection, num_shards=3, replication=2,
+                        kernel="columnar") as columnar:
+        assert columnar.kernel == "columnar"
+        # Replicas of one shard share one compiled snapshot.
+        for shard in columnar.shards:
+            snapshots = {id(replica.engine.snapshot)
+                         for replica in shard.transport.replicas}
+            assert len(snapshots) == 1
+        for query in corpus[::10]:
+            expected = obj.execute(query)
+            actual = columnar.execute(query)
+            assert entries_of(actual.result) == entries_of(expected.result)
