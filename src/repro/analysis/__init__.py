@@ -1,24 +1,45 @@
 """Static analysis + runtime race detection for the DESKS codebase.
 
-Three layers (see ``docs/ANALYSIS.md``):
+Four layers (see ``docs/ANALYSIS.md``):
 
 * :class:`LintEngine` + the ``DALxxx`` rule catalog — an AST linter for
   the *project's own* invariants (angle arithmetic confined to
   :mod:`repro.geometry`, WAL-before-apply, buffer-pool-only page I/O,
   deterministic search/recovery);
+* whole-program passes over the full tree — the import/call graph
+  (:mod:`repro.analysis.graph`), the declarative architecture contract
+  ``ARCHITECTURE.toml`` (DAL010, :mod:`repro.analysis.contract`), and
+  interprocedural exception-flow checking at the RPC boundaries
+  (DAL011, :mod:`repro.analysis.exceptions`);
 * :func:`make_lock` / :class:`TrackedLock` / :class:`LockTracker` — a
-  runtime lock-order race detector for the six concurrent modules,
-  zero-cost when disabled;
-* the ``repro lint`` CLI subcommand and CI wiring that keep ``src/``
-  clean.
+  runtime lock-order race detector for the concurrent modules, plus the
+  shared-state write sanitizer (:func:`register_shared` /
+  :class:`WriteTracker`, DAL012) that catches lock-free mutations of
+  thread-shared objects; both zero-cost when disabled;
+* the ``repro lint`` CLI subcommand (including ``--graph`` export) and
+  CI wiring that keep ``src/`` clean.
 """
 
+from .contract import (
+    Boundary,
+    Contract,
+    ContractRule,
+    default_contract,
+)
 from .engine import (
     Finding,
     LintEngine,
     LintReport,
     ModuleContext,
+    ProgramRule,
     RuleVisitor,
+)
+from .exceptions import ExceptionFlowRule
+from .graph import (
+    CallGraph,
+    ImportGraph,
+    ProgramIndex,
+    build_graph,
 )
 from .locks import (
     ENV_FLAG,
@@ -32,25 +53,65 @@ from .locks import (
     lock_tracking_enabled,
     make_lock,
 )
-from .rules import ALL_RULES, RULE_INDEX, rule_catalog
+from .rules import (
+    ALIAS_CODES,
+    ALL_RULES,
+    PROGRAM_RULES,
+    RULE_INDEX,
+    rule_catalog,
+)
+from .shared import (
+    ENV_WRITE_FLAG,
+    SharedStateRule,
+    WriteReport,
+    WriteTracker,
+    WriteViolation,
+    disable_write_tracking,
+    enable_write_tracking,
+    get_write_tracker,
+    register_shared,
+    write_tracking_enabled,
+)
 
 __all__ = [
+    "ALIAS_CODES",
     "ALL_RULES",
+    "Boundary",
+    "CallGraph",
+    "Contract",
+    "ContractRule",
     "ENV_FLAG",
+    "ENV_WRITE_FLAG",
+    "ExceptionFlowRule",
     "Finding",
+    "ImportGraph",
     "LintEngine",
     "LintReport",
     "LockEdge",
     "LockOrderReport",
     "LockTracker",
     "ModuleContext",
+    "PROGRAM_RULES",
+    "ProgramIndex",
+    "ProgramRule",
     "RULE_INDEX",
     "RuleVisitor",
+    "SharedStateRule",
     "TrackedLock",
+    "WriteReport",
+    "WriteTracker",
+    "WriteViolation",
+    "build_graph",
+    "default_contract",
     "disable_lock_tracking",
+    "disable_write_tracking",
     "enable_lock_tracking",
+    "enable_write_tracking",
     "get_lock_tracker",
+    "get_write_tracker",
     "lock_tracking_enabled",
     "make_lock",
+    "register_shared",
     "rule_catalog",
+    "write_tracking_enabled",
 ]

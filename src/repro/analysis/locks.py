@@ -193,6 +193,15 @@ class LockTracker:
         # before tracking was enabled or acquire/release crossed threads.
         # Neither is an ordering fact, so it is ignored rather than raised.
 
+    def held_roles(self) -> Tuple[str, ...]:
+        """Roles of the locks the *current thread* holds right now.
+
+        The write sanitizer (:mod:`repro.analysis.shared`) calls this on
+        every tracked attribute mutation: an empty tuple there means a
+        shared object was written with no ``make_lock`` role held.
+        """
+        return tuple(lock.name for lock, _ in self._stack())
+
     # -- analysis ------------------------------------------------------------
 
     def edges(self) -> List[LockEdge]:

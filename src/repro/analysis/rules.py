@@ -19,9 +19,12 @@ catalog and a meta-test asserts the two never drift.
 from __future__ import annotations
 
 import ast
-from typing import List, Optional, Sequence, Type
+from typing import Dict, List, Optional, Sequence, Type, Union
 
-from .engine import RuleVisitor
+from .contract import ContractRule
+from .engine import ProgramRule, RuleVisitor
+from .exceptions import ExceptionFlowRule
+from .shared import SharedStateRule
 
 #: Two-pi in its spellings: ``TWO_PI``/``TAU`` names, ``math.tau``, a
 #: ``2 * math.pi`` product, or a literal within 1e-6 of 6.2831853.
@@ -493,8 +496,12 @@ class ChaosContainmentRule(RuleVisitor):
         self.generic_visit(node)
 
 
-#: Every rule, in code order.  The engine default; tests and the CLI use
-#: this list, and docs/ANALYSIS.md documents exactly these codes.
+#: Every per-file rule, in code order — the engine default.  DAL010
+#: (the architecture contract) subsumes the v1 layering rules DAL007/
+#: 008/009: their checks live on as contract entries whose violations
+#: keep the legacy codes via aliases.  The legacy rule classes above
+#: stay importable (fixtures and downstream tooling may run them
+#: directly) but are no longer part of the default set.
 ALL_RULES: Sequence[Type[RuleVisitor]] = (
     AngleArithmeticRule,
     FloatEqualityRule,
@@ -502,19 +509,44 @@ ALL_RULES: Sequence[Type[RuleVisitor]] = (
     StrayFileWriteRule,
     BufferBypassRule,
     NondeterminismRule,
-    TransportRule,
-    LanguagePurityRule,
-    ChaosContainmentRule,
+    ContractRule,
+    SharedStateRule,
 )
 
-#: code -> rule class, for documentation and the meta-test.
-RULE_INDEX = {rule.code: rule for rule in ALL_RULES}
+#: Whole-program rules the default engine runs once per check().
+PROGRAM_RULES: Sequence[Type[ProgramRule]] = (
+    ExceptionFlowRule,
+)
+
+#: Legacy codes that are now aliases: findings reported under these
+#: codes are produced by the contract rule (DAL010).
+ALIAS_CODES: Dict[str, Type[RuleVisitor]] = {
+    "DAL007": ContractRule,
+    "DAL008": ContractRule,
+    "DAL009": ContractRule,
+}
+
+#: code -> rule class (file rules, program rules, and alias codes), for
+#: documentation, `--rules` validation, and the meta-test.
+RULE_INDEX: Dict[str, Union[Type[RuleVisitor], Type[ProgramRule]]] = {}
+for _rule in ALL_RULES:
+    RULE_INDEX[_rule.code] = _rule
+for _program_rule in PROGRAM_RULES:
+    RULE_INDEX[_program_rule.code] = _program_rule
+RULE_INDEX.update(ALIAS_CODES)
 
 
-def rule_catalog() -> List[dict]:
-    """The catalog as data: code, summary, rationale per rule."""
+def rule_catalog() -> List[Dict[str, str]]:
+    """The catalog as data: code, summary, rationale per rule.
+
+    Covers the per-file rules and the program rules; alias codes are
+    documented by the rule that produces them (DAL010).
+    """
+    rules: List[Union[Type[RuleVisitor], Type[ProgramRule]]] = []
+    rules.extend(ALL_RULES)
+    rules.extend(PROGRAM_RULES)
     return [
         {"code": rule.code, "summary": rule.summary,
          "rationale": rule.rationale}
-        for rule in ALL_RULES
+        for rule in sorted(rules, key=lambda rule: rule.code)
     ]

@@ -1,0 +1,353 @@
+"""Shared-state write sanitizer: runtime tracker + static rule (DAL012).
+
+The lock-order detector (:mod:`repro.analysis.locks`) proves the locks
+that *are* taken nest consistently — it cannot see a write that takes no
+lock at all.  This module closes that gap from both sides:
+
+* **Runtime** — thread-shared objects register themselves at the end of
+  ``__init__`` via :func:`register_shared`.  With tracking off that call
+  is a no-op returning the object (zero per-write cost: no wrapper, no
+  class swap).  With tracking on (``DESKS_WRITE_TRACKING=1`` or
+  :func:`enable_write_tracking`, which implies lock tracking) the
+  object's class is swapped to a generated subclass whose
+  ``__setattr__`` reports every attribute mutation to the active
+  :class:`WriteTracker`, which records a :class:`WriteViolation` whenever
+  the writing thread holds *no* ``make_lock`` role.  ``__init__`` writes
+  are exempt by construction: the swap happens after them.
+* **Static** — :class:`SharedStateRule` (DAL012) flags ``self.attr``
+  assignments outside ``__init__`` in any class that registers itself as
+  thread-shared, unless the assignment sits lexically inside a ``with``
+  on something lock-like.  The runtime facet catches the interleavings
+  tests produce; the static facet catches the code paths they don't.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import threading
+import traceback
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple, TypeVar
+
+from .engine import RuleVisitor
+from .locks import enable_lock_tracking, get_lock_tracker
+
+ENV_WRITE_FLAG = "DESKS_WRITE_TRACKING"
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class WriteViolation:
+    """Writes to one ``(role, attribute)`` with no lock role held."""
+
+    role: str
+    attr: str
+    count: int
+    threads: int
+    #: Trimmed stack of the first unguarded write.
+    stack: Tuple[str, ...]
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready form for reports."""
+        return {"role": self.role, "attr": self.attr, "count": self.count,
+                "threads": self.threads, "stack": list(self.stack)}
+
+
+@dataclass
+class WriteReport:
+    """The verdict over one tracked run."""
+
+    violations: List[WriteViolation]
+    writes: int
+
+    @property
+    def clean(self) -> bool:
+        """True when every tracked write held at least one lock role."""
+        return not self.violations
+
+    def render(self) -> str:
+        """Human-readable report; violations point at code via stacks."""
+        lines = [f"tracked attribute writes: {self.writes}, "
+                 f"unguarded: {len(self.violations)} distinct site(s)"]
+        if self.clean:
+            lines.append("no unguarded shared-state writes detected")
+            return "\n".join(lines)
+        for violation in self.violations:
+            lines.append(
+                f"UNGUARDED WRITE: {violation.role}.{violation.attr} "
+                f"(x{violation.count}, {violation.threads} thread(s))")
+            lines.extend(f"    {frame}" for frame in violation.stack)
+        return "\n".join(lines)
+
+
+class _ViolationRecord:
+    __slots__ = ("count", "threads", "stack")
+
+    def __init__(self, stack: Tuple[str, ...]) -> None:
+        self.count = 0
+        self.threads: Set[int] = set()
+        self.stack = stack
+
+
+class WriteTracker:
+    """Collects attribute-write events from registered shared objects.
+
+    Thread-safe; uses a raw ``threading.Lock`` for its own state (its
+    bookkeeping must not appear in the lock-order graph it polices).
+    """
+
+    def __init__(self, stack_depth: int = 6) -> None:
+        self.stack_depth = stack_depth
+        self._mutex = threading.Lock()
+        self._writes = 0
+        self._bad: Dict[Tuple[str, str], _ViolationRecord] = {}
+
+    def on_write(self, role: str, attr: str) -> None:
+        """Record one attribute write on a shared object.
+
+        A write is a violation when the current thread holds no
+        ``make_lock`` role at all; which *specific* role guards which
+        object stays the lock-order detector's business.
+        """
+        tracker = get_lock_tracker()
+        held = tracker.held_roles() if tracker is not None else ()
+        if held:
+            with self._mutex:
+                self._writes += 1
+            return
+        thread_id = threading.get_ident()
+        key = (role, attr)
+        with self._mutex:
+            self._writes += 1
+            record = self._bad.get(key)
+            if record is None:
+                frames = tuple(
+                    f"{f.filename}:{f.lineno} in {f.name}: {f.line}"
+                    for f in traceback.extract_stack(
+                        limit=self.stack_depth + 3)[:-3])
+                record = self._bad[key] = _ViolationRecord(frames)
+            record.count += 1
+            record.threads.add(thread_id)
+
+    def report(self) -> WriteReport:
+        """Everything observed so far, deterministically ordered."""
+        with self._mutex:
+            violations = [
+                WriteViolation(role=role, attr=attr, count=record.count,
+                               threads=len(record.threads),
+                               stack=record.stack)
+                for (role, attr), record in sorted(self._bad.items())]
+            return WriteReport(violations, self._writes)
+
+
+# -- global switch -------------------------------------------------------------
+
+_write_tracker: Optional[WriteTracker] = None
+
+#: Generated tracked subclasses, one per (class, role).
+_tracked_classes: Dict[Tuple[type, str], type] = {}
+
+
+def write_tracking_enabled() -> bool:
+    """True when :func:`register_shared` currently instruments objects."""
+    return _write_tracker is not None
+
+
+def get_write_tracker() -> Optional[WriteTracker]:
+    """The active tracker, or ``None`` when tracking is off."""
+    return _write_tracker
+
+
+def enable_write_tracking(
+        tracker: Optional[WriteTracker] = None) -> WriteTracker:
+    """Start tracking shared-object writes; returns the tracker.
+
+    Implies lock tracking (the sanitizer's question is "was a
+    ``make_lock`` role held?", which only tracked locks can answer).
+    Affects objects registered *after* the call.
+    """
+    global _write_tracker
+    if get_lock_tracker() is None:
+        enable_lock_tracking()
+    if tracker is not None:
+        _write_tracker = tracker
+    elif _write_tracker is None:
+        _write_tracker = WriteTracker()
+    return _write_tracker
+
+
+def disable_write_tracking() -> None:
+    """Stop instrumenting newly registered objects.
+
+    Already-swapped objects keep their tracked class but their writes
+    stop being recorded (the module-level tracker is gone).
+    """
+    global _write_tracker
+    _write_tracker = None
+
+
+def _tracked_class(cls: type, role: str) -> type:
+    """The generated write-reporting subclass for ``(cls, role)``.
+
+    ``__slots__ = ()`` keeps the subclass layout-compatible with both
+    slotted and dict-based classes, so an instance's ``__class__`` can
+    be swapped in place.
+    """
+    key = (cls, role)
+    cached = _tracked_classes.get(key)
+    if cached is not None:
+        return cached
+
+    def __setattr__(self: object, name: str, value: object) -> None:
+        tracker = _write_tracker
+        if tracker is not None:
+            tracker.on_write(role, name)
+        cls.__setattr__(self, name, value)
+
+    sub = type(cls.__name__, (cls,), {
+        "__slots__": (),
+        "__setattr__": __setattr__,
+        "_desks_write_role": role,
+    })
+    _tracked_classes[key] = sub
+    return sub
+
+
+def register_shared(obj: T, role: str) -> T:
+    """Mark ``obj`` as thread-shared under ``role``; returns ``obj``.
+
+    Call as the *last* statement of ``__init__``.  A no-op when write
+    tracking is off — the common case costs one ``None`` check per
+    object construction and nothing per attribute write.
+    """
+    if _write_tracker is None:
+        return obj
+    cls = type(obj)
+    if getattr(cls, "_desks_write_role", None) is not None:
+        return obj  # already instrumented (or a tracked subclass)
+    setattr(obj, "__class__", _tracked_class(cls, role))
+    return obj
+
+
+# -- the static rule -----------------------------------------------------------
+
+
+def _lockish(expr: ast.expr) -> bool:
+    """True when a ``with`` context expression looks like a lock."""
+    try:
+        text = ast.unparse(expr).lower()
+    except (ValueError, AttributeError):  # pragma: no cover - defensive
+        return False
+    return "lock" in text or "mutex" in text
+
+
+def _registers_shared(init: ast.AST) -> bool:
+    for node in ast.walk(init):
+        if isinstance(node, ast.Call):
+            func = node.func
+            name = (func.id if isinstance(func, ast.Name)
+                    else func.attr if isinstance(func, ast.Attribute)
+                    else None)
+            if name == "register_shared":
+                return True
+    return False
+
+
+class SharedStateRule(RuleVisitor):
+    """DAL012: unguarded ``self.attr`` writes in thread-shared classes.
+
+    Applies to classes whose ``__init__`` calls :func:`register_shared`.
+    Outside ``__init__``, every attribute assignment on ``self`` must
+    sit lexically inside a ``with`` whose context expression mentions a
+    lock; anything else is a write the runtime sanitizer would flag on
+    the first unlucky interleaving — this rule flags it on every run.
+    """
+
+    code = "DAL012"
+    summary = ("attribute assigned outside __init__ without a lock in a "
+               "registered thread-shared class")
+    rationale = (
+        "Objects registered via register_shared (engine, result cache, "
+        "metrics, buffer pool, replica sets) are mutated from many "
+        "threads; the lock-order detector proves taken locks nest "
+        "correctly but cannot see a write that takes no lock at all.  "
+        "An unguarded `self.attr = ...` outside __init__ is exactly "
+        "that: a data race the runtime write tracker only catches when "
+        "a test produces the interleaving.  Guard the write with the "
+        "object's `with self._lock:` (or do it in __init__, before the "
+        "object is shared).")
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        """Scan methods of classes that register as thread-shared."""
+        init = next(
+            (item for item in node.body
+             if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef))
+             and item.name == "__init__"), None)
+        if init is not None and _registers_shared(init):
+            for item in node.body:
+                if isinstance(item, (ast.FunctionDef,
+                                     ast.AsyncFunctionDef)) and \
+                        item.name != "__init__":
+                    self._scan(item.body, node.name, guarded=False)
+        self.generic_visit(node)
+
+    def _scan(self, stmts: List[ast.stmt], class_name: str,
+              guarded: bool) -> None:
+        for stmt in stmts:
+            if isinstance(stmt, (ast.With, ast.AsyncWith)):
+                inner = guarded or any(_lockish(item.context_expr)
+                                       for item in stmt.items)
+                self._scan(stmt.body, class_name, inner)
+                continue
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.ClassDef)):
+                continue  # nested definitions run in their own context
+            if not guarded:
+                for target in self._self_attr_targets(stmt):
+                    self.emit(stmt, f"`self.{target}` assigned outside "
+                                    "__init__ without holding a lock in "
+                                    f"thread-shared class `{class_name}`; "
+                                    "wrap the write in `with self._lock:` "
+                                    "or move it into __init__")
+            for _, value in ast.iter_fields(stmt):
+                if isinstance(value, list) and value and \
+                        isinstance(value[0], ast.stmt):
+                    self._scan(value, class_name, guarded)
+
+    @staticmethod
+    def _self_attr_targets(stmt: ast.stmt) -> List[str]:
+        targets: List[ast.expr] = []
+        if isinstance(stmt, ast.Assign):
+            targets = list(stmt.targets)
+        elif isinstance(stmt, (ast.AugAssign, ast.AnnAssign)):
+            targets = [stmt.target]
+        out: List[str] = []
+        for target in targets:
+            nodes = (target.elts if isinstance(target, ast.Tuple)
+                     else [target])
+            for node in nodes:
+                if isinstance(node, ast.Attribute) and \
+                        isinstance(node.value, ast.Name) and \
+                        node.value.id == "self":
+                    out.append(node.attr)
+        return out
+
+
+if os.environ.get(ENV_WRITE_FLAG, "").strip() not in ("", "0", "false"):
+    enable_write_tracking()
+
+
+__all__ = [
+    "ENV_WRITE_FLAG",
+    "SharedStateRule",
+    "WriteReport",
+    "WriteTracker",
+    "WriteViolation",
+    "disable_write_tracking",
+    "enable_write_tracking",
+    "get_write_tracker",
+    "register_shared",
+    "write_tracking_enabled",
+]

@@ -26,7 +26,7 @@ import time
 from dataclasses import dataclass
 from typing import List, Optional, Tuple, Union
 
-from ..analysis import make_lock
+from ..analysis import make_lock, register_shared
 from ..core import DesksIndex, DirectionalQuery, MutableDesksIndex, PruningMode
 from ..kernel import ColumnarSnapshot
 from ..service import MetricsRegistry, QueryEngine, ServiceResponse
@@ -145,6 +145,7 @@ class Replica:
         self.quarantined = False
         self.quarantine_cause: Optional[str] = None
         self._lock = make_lock("cluster.replica")
+        register_shared(self, "cluster.replica")
 
     def mark_success(self) -> None:
         """Record a successful request; an unhealthy replica recovers."""
@@ -215,6 +216,7 @@ class ReplicaSet:
         ]
         self._rotation = 0
         self._lock = make_lock("cluster.replica_set")
+        register_shared(self, "cluster.replica_set")
 
     def __len__(self) -> int:
         return len(self.replicas)
@@ -255,7 +257,7 @@ class ReplicaSet:
                 self._quarantine(replica, str(exc))
                 last_error = exc
                 continue
-            except Exception as exc:  # noqa: BLE001 - converted to failover
+            except Exception as exc:  # desks: noqa-DAL011 - converted to failover; cause kept in last_error
                 replica.mark_failure()
                 last_error = exc
                 if self.metrics is not None:

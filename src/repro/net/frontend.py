@@ -87,7 +87,7 @@ class ClusterFrontend:
     def _run_loop(self, ready: threading.Event, failure: list) -> None:
         try:
             asyncio.run(self._serve_async(ready))
-        except Exception as exc:  # noqa: BLE001 - surfaced to start()
+        except Exception as exc:  # desks: noqa-DAL011 - cause surfaced to start() via the failure list
             failure.append(exc)
         finally:
             ready.set()
@@ -135,7 +135,7 @@ class ClusterFrontend:
                     msg_type, length, crc = protocol.parse_header(header)
                     payload = (await reader.readexactly(length)
                                if length else b"")
-                    protocol.check_payload(payload, crc)
+                    protocol.check_payload(payload, crc, msg_type)
                 except (asyncio.IncompleteReadError, ConnectionError):
                     return  # client went away between/within frames
                 except protocol.ProtocolError as exc:

@@ -155,7 +155,7 @@ def run_network_closed_loop(
             except TransportError:
                 transport_errors[client_id] += 1
                 continue
-            except Exception as exc:  # noqa: BLE001 - reported, not lost
+            except Exception as exc:  # desks: noqa-DAL011 - cause reported through the errors list
                 with errors_lock:
                     errors.append(f"{type(exc).__name__}: {exc}")
                 break

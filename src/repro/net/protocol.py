@@ -6,8 +6,10 @@ door to shard server — is one *frame*::
     [magic u16][version u8][type u8][payload length u32][crc32 u32] payload
 
 The 12-byte header is ``struct`` format :data:`HEADER_FORMAT`; the CRC
-covers the payload alone, so a flipped bit anywhere in the body surfaces
-as a typed :class:`ChecksumMismatch` before any field is parsed.  The
+is seeded with the frame's type byte and then covers the payload, so a
+flipped bit anywhere in the body — or a type byte flipped to another
+*valid* type, which magic/version/length checks cannot see — surfaces as
+a typed :class:`ChecksumMismatch` before any field is parsed.  The
 header is validated *before* the payload is read: a bad magic, an unknown
 version, or a length beyond :data:`MAX_PAYLOAD` (a corrupted or hostile
 length prefix must not make a peer allocate gigabytes) each raise their
@@ -55,7 +57,9 @@ MAGIC = 0xD35C
 
 #: Wire format version.  Bump on any incompatible payload change; peers
 #: refuse mismatched versions with a typed error instead of misparsing.
-WIRE_VERSION = 1
+#: Version 2 seeds the CRC with the type byte (v1 left the type the only
+#: header byte a single bit-flip could silently change to a valid frame).
+WIRE_VERSION = 2
 
 #: Frame header layout: magic, version, message type, payload length,
 #: payload CRC32.  Network byte order throughout.
@@ -147,14 +151,27 @@ class OverloadError(RpcError):
 # -- framing -----------------------------------------------------------------
 
 
+def _frame_crc(msg_type: MessageType, payload: bytes) -> int:
+    """The frame CRC: seeded with the type byte, then over the payload.
+
+    Folding the type into the CRC closes the one header gap the field
+    checks leave open: a bit-flip turning one valid :class:`MessageType`
+    into another passes magic/version/length validation, and misparsing
+    a payload under the wrong type is exactly the silent damage the CRC
+    exists to prevent.
+    """
+    return zlib.crc32(payload, zlib.crc32(bytes([int(msg_type)]))) \
+        & 0xFFFFFFFF
+
+
 def encode_frame(msg_type: MessageType, payload: bytes = b"") -> bytes:
-    """One complete frame: header (with payload CRC) plus payload."""
+    """One complete frame: header (with type-seeded CRC) plus payload."""
     if len(payload) > MAX_PAYLOAD:
         raise FrameTooLarge(
             f"payload of {len(payload)} bytes exceeds the "
             f"{MAX_PAYLOAD}-byte frame limit")
     header = struct.pack(HEADER_FORMAT, MAGIC, WIRE_VERSION, int(msg_type),
-                         len(payload), zlib.crc32(payload) & 0xFFFFFFFF)
+                         len(payload), _frame_crc(msg_type, payload))
     return header + payload
 
 
@@ -188,12 +205,19 @@ def parse_header(header: bytes) -> Tuple[MessageType, int, int]:
     return msg_type, length, crc
 
 
-def check_payload(payload: bytes, crc: int) -> bytes:
-    """Verify ``payload`` against the header CRC; returns it unchanged."""
-    actual = zlib.crc32(payload) & 0xFFFFFFFF
+def check_payload(payload: bytes, crc: int,
+                  msg_type: MessageType) -> bytes:
+    """Verify ``payload`` (and the type byte) against the header CRC.
+
+    Returns the payload unchanged.  ``msg_type`` must be the frame's own
+    type field — the CRC is seeded with it, so a frame whose type byte
+    was corrupted to another valid type fails here rather than being
+    dispatched as the wrong message.
+    """
+    actual = _frame_crc(msg_type, payload)
     if actual != crc:
         raise ChecksumMismatch(
-            f"payload CRC 0x{actual:08X} != header CRC 0x{crc:08X}")
+            f"frame CRC 0x{actual:08X} != header CRC 0x{crc:08X}")
     return payload
 
 
@@ -215,7 +239,7 @@ def read_frame(recv_exactly: Callable[[int], bytes],
         raise TruncatedFrame(
             f"connection closed {length - len(payload)} byte(s) short of "
             "the frame payload")
-    return msg_type, check_payload(payload, crc)
+    return msg_type, check_payload(payload, crc, msg_type)
 
 
 # -- primitive encoders ------------------------------------------------------

@@ -26,7 +26,7 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Hashable, Optional, Tuple
 
-from ..analysis import make_lock
+from ..analysis import make_lock, register_shared
 from ..core import DirectionalQuery, QueryResult
 
 
@@ -71,6 +71,7 @@ class ResultCache:
             OrderedDict()
         self._lock = make_lock("service.result_cache")
         self._stats = CacheStats()
+        register_shared(self, "service.result_cache")
 
     # -- keying -------------------------------------------------------------
 

@@ -33,7 +33,7 @@ from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Dict, Hashable, List, Optional, Sequence, Tuple, Union
 
-from ..analysis import make_lock
+from ..analysis import make_lock, register_shared
 from ..core import (
     DesksIndex,
     DesksSearcher,
@@ -155,6 +155,7 @@ class QueryEngine:
         # executor with a less actionable RuntimeError.
         self._lifecycle_lock = make_lock("service.engine")
         self._closed = False
+        register_shared(self, "service.engine")
 
     # -- generation ---------------------------------------------------------
 
@@ -322,7 +323,7 @@ class QueryEngine:
                 continue
             try:
                 future.set_result(self.execute(query, timeout))
-            except BaseException as exc:  # pragma: no cover - defensive
+            except BaseException as exc:  # desks: noqa-DAL011 - cause delivered via future.set_exception
                 future.set_exception(exc)
 
     # -- lifecycle ----------------------------------------------------------

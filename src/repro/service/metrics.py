@@ -19,7 +19,7 @@ import bisect
 import math
 import time
 
-from ..analysis import make_lock
+from ..analysis import make_lock, register_shared
 from typing import Dict, List, Optional, Sequence, Tuple
 
 #: Default latency buckets (seconds): 50 µs .. ~30 s, ~4 steps per decade.
@@ -41,6 +41,7 @@ class Counter:
         self.name = name
         self._value = 0
         self._lock = make_lock("service.metrics.counter")
+        register_shared(self, "service.metrics.counter")
 
     def increment(self, by: int = 1) -> None:
         """Add ``by`` (non-negative) to the counter."""
@@ -65,6 +66,7 @@ class Gauge:
         self.name = name
         self._value = 0.0
         self._lock = make_lock("service.metrics.gauge")
+        register_shared(self, "service.metrics.gauge")
 
     def set(self, value: float) -> None:
         """Replace the gauge's value."""
@@ -103,6 +105,7 @@ class Histogram:
         self._min = math.inf
         self._max = -math.inf
         self._lock = make_lock("service.metrics.histogram")
+        register_shared(self, "service.metrics.histogram")
 
     def observe(self, value: float) -> None:
         """Record one sample."""
@@ -181,6 +184,7 @@ class MetricsRegistry:
         self._histograms: Dict[str, Histogram] = {}
         self._lock = make_lock("service.metrics.registry")
         self._started = time.monotonic()
+        register_shared(self, "service.metrics")
 
     def counter(self, name: str) -> Counter:
         """The counter called ``name``, created on first use."""

@@ -123,7 +123,7 @@ def run_closed_loop(engine: QueryEngine,
                     responses = [
                         future.result()
                         for future in engine.submit_batch(batch, timeout)]
-            except Exception as exc:  # noqa: BLE001 - reported, not lost
+            except Exception as exc:  # desks: noqa-DAL011 - cause reported through the errors list
                 with errors_lock:
                     errors.append(f"{type(exc).__name__}: {exc}")
                 break

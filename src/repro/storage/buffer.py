@@ -14,7 +14,7 @@ from __future__ import annotations
 from collections import OrderedDict
 from dataclasses import dataclass
 
-from ..analysis import make_lock
+from ..analysis import make_lock, register_shared
 from .pages import PageStore
 from .stats import IOStats
 
@@ -40,6 +40,7 @@ class BufferPool:
         # Guards frames, eviction, and the shared I/O counters.  RLock so
         # close() may call flush() without re-entrancy gymnastics.
         self._lock = make_lock("storage.buffer_pool", reentrant=True)
+        register_shared(self, "storage.buffer_pool")
 
     # -- metrics ------------------------------------------------------------
 

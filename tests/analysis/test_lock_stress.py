@@ -12,8 +12,11 @@ import pytest
 
 from repro.analysis import (
     LockTracker,
+    WriteTracker,
     disable_lock_tracking,
+    disable_write_tracking,
     enable_lock_tracking,
+    enable_write_tracking,
 )
 from repro.core import DesksIndex, MutableDesksIndex
 from repro.service import QueryEngine
@@ -29,6 +32,16 @@ def tracker():
     # pick raw vs tracked at creation time.
     t = enable_lock_tracking(LockTracker())
     yield t
+    disable_lock_tracking()
+
+
+@pytest.fixture()
+def write_tracker():
+    # Same creation-time rule as locks: registration instruments objects
+    # only while a tracker is installed.
+    t = enable_write_tracking(WriteTracker())
+    yield t
+    disable_write_tracking()
     disable_lock_tracking()
 
 
@@ -105,3 +118,41 @@ def test_engine_disk_index_buffer_pool_stress(tracker, tmp_path):
                      "service.metrics.counter",
                      "service.metrics.histogram",
                      "service.metrics.registry", "service.engine"}
+
+
+def test_write_sanitizer_stress_on_the_real_stack(write_tracker, tmp_path):
+    """The engine/cache/metrics/buffer stack under concurrent load makes
+    every shared-object write while holding a lock role: zero violations."""
+    collection = make_collection(n=300, seed=13)
+    index = DesksIndex(collection, num_bands=4, num_wedges=6,
+                       disk_based=True,
+                       disk_path_prefix=str(tmp_path / "idx"),
+                       buffer_capacity=8)
+    engine = QueryEngine(index, num_workers=4, cache_capacity=16)
+    queries = make_queries(30, seed=7)
+    try:
+        futures = [engine.submit(q) for q in queries for _ in range(4)]
+        for future in futures:
+            future.result(timeout=30)
+    finally:
+        engine.close()
+
+    report = write_tracker.report()
+    assert report.writes > 0, "nothing was tracked: registration broke"
+    assert report.clean, "\n" + report.render()
+
+
+def test_write_sanitizer_catches_a_deliberate_unguarded_write(write_tracker):
+    """Proof the harness can fail: an attribute poked from outside any
+    lock on a registered engine is reported with role, attr, and stack."""
+    collection = make_collection(n=50, seed=14)
+    index = MutableDesksIndex(collection, num_bands=4, num_wedges=6)
+    engine = QueryEngine(index, num_workers=2, cache_capacity=8)
+    try:
+        engine._closed = engine._closed  # no lock held: must be flagged
+    finally:
+        engine.close()
+
+    violations = {(v.role, v.attr)
+                  for v in write_tracker.report().violations}
+    assert ("service.engine", "_closed") in violations

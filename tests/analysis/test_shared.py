@@ -1,0 +1,256 @@
+"""The shared-state write sanitizer: runtime tracker + DAL012."""
+
+import textwrap
+import threading
+
+import pytest
+
+from repro.analysis import (
+    LintEngine,
+    LockTracker,
+    WriteTracker,
+    disable_lock_tracking,
+    disable_write_tracking,
+    enable_lock_tracking,
+    enable_write_tracking,
+    get_write_tracker,
+    lock_tracking_enabled,
+    make_lock,
+    register_shared,
+    write_tracking_enabled,
+)
+from repro.analysis.rules import SharedStateRule
+
+SVC = "src/repro/service/example.py"
+
+
+@pytest.fixture
+def tracking():
+    """Fresh write + lock tracking for one test, torn down after."""
+    tracker = enable_write_tracking(WriteTracker())
+    yield tracker
+    disable_write_tracking()
+    disable_lock_tracking()
+
+
+class Thing:
+    def __init__(self):
+        self._lock = make_lock("test.thing")
+        self.value = 0
+        register_shared(self, "test.thing")
+
+    def guarded_bump(self):
+        with self._lock:
+            self.value += 1
+
+    def unguarded_bump(self):
+        self.value += 1
+
+
+# -- runtime tracker ----------------------------------------------------------
+
+
+class TestWriteTracker:
+    def test_register_is_a_no_op_when_disabled(self):
+        thing = Thing()
+        assert type(thing) is Thing
+        assert not write_tracking_enabled()
+        assert get_write_tracker() is None
+
+    def test_enabling_implies_lock_tracking(self):
+        assert not lock_tracking_enabled()
+        enable_write_tracking()
+        try:
+            assert lock_tracking_enabled()
+        finally:
+            disable_write_tracking()
+            disable_lock_tracking()
+
+    def test_unguarded_write_is_a_violation(self, tracking):
+        thing = Thing()
+        thing.unguarded_bump()
+        report = tracking.report()
+        assert not report.clean
+        assert [(v.role, v.attr) for v in report.violations] == \
+            [("test.thing", "value")]
+        assert report.violations[0].count == 1
+        assert any("unguarded_bump" in frame
+                   for frame in report.violations[0].stack)
+
+    def test_guarded_write_is_clean(self, tracking):
+        thing = Thing()
+        thing.guarded_bump()
+        thing.guarded_bump()
+        report = tracking.report()
+        assert report.clean
+        assert report.writes == 2
+
+    def test_init_writes_are_exempt_by_construction(self, tracking):
+        Thing()  # __init__ assigns _lock and value before registering
+        assert tracking.report().writes == 0
+
+    def test_any_held_role_counts_as_guarded(self, tracking):
+        other = make_lock("test.other")
+        thing = Thing()
+        with other:
+            thing.unguarded_bump()
+        assert tracking.report().clean
+
+    def test_violations_aggregate_by_role_and_attr(self, tracking):
+        thing = Thing()
+        for _ in range(5):
+            thing.unguarded_bump()
+        report = tracking.report()
+        assert len(report.violations) == 1
+        assert report.violations[0].count == 5
+        assert "UNGUARDED WRITE: test.thing.value" in report.render()
+
+    def test_multiple_threads_are_counted(self, tracking):
+        thing = Thing()
+        barrier = threading.Barrier(4)  # all alive at once: distinct ids
+
+        def bump():
+            barrier.wait()
+            thing.unguarded_bump()
+            barrier.wait()
+
+        threads = [threading.Thread(target=bump) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert tracking.report().violations[0].threads == 4
+
+    def test_double_registration_keeps_one_wrapper(self, tracking):
+        thing = Thing()
+        cls = type(thing)
+        register_shared(thing, "test.thing")
+        assert type(thing) is cls
+        assert cls is not Thing and issubclass(cls, Thing)
+
+    def test_slotted_classes_can_register(self, tracking):
+        class Slotted:
+            __slots__ = ("x",)
+
+        obj = register_shared(Slotted(), "test.slotted")
+        obj.x = 1
+        report = tracking.report()
+        assert [(v.role, v.attr) for v in report.violations] == \
+            [("test.slotted", "x")]
+
+    def test_disable_stops_recording(self, tracking):
+        thing = Thing()
+        disable_write_tracking()
+        thing.unguarded_bump()  # wrapper still installed, tracker gone
+        assert tracking.report().writes == 0
+
+
+# -- static rule (DAL012) -----------------------------------------------------
+
+
+def lint(source, path=SVC):
+    engine = LintEngine([SharedStateRule])
+    return engine.check_source(textwrap.dedent(source), path)
+
+
+REGISTERED = """
+    class Cache:
+        def __init__(self):
+            self._lock = make_lock("svc.cache")
+            self.hits = 0
+            register_shared(self, "svc.cache")
+
+    {method}
+"""
+
+
+def registered_with(method):
+    body = textwrap.indent(textwrap.dedent(method).strip(), "    ")
+    return REGISTERED.format(method=body).replace("\n    {method}", "")
+
+
+class TestSharedStateRule:
+    def test_unguarded_write_fires(self):
+        found = lint("""
+            class Cache:
+                def __init__(self):
+                    self._lock = make_lock("svc.cache")
+                    self.hits = 0
+                    register_shared(self, "svc.cache")
+
+                def bump(self):
+                    self.hits += 1
+        """)
+        assert [f.code for f in found] == ["DAL012"]
+        assert "`self.hits`" in found[0].message
+
+    def test_guarded_write_is_silent(self):
+        assert lint("""
+            class Cache:
+                def __init__(self):
+                    self._lock = make_lock("svc.cache")
+                    self.hits = 0
+                    register_shared(self, "svc.cache")
+
+                def bump(self):
+                    with self._lock:
+                        self.hits += 1
+        """) == []
+
+    def test_unregistered_class_is_ignored(self):
+        assert lint("""
+            class Plain:
+                def __init__(self):
+                    self.hits = 0
+
+                def bump(self):
+                    self.hits += 1
+        """) == []
+
+    def test_tuple_and_annotated_targets_fire(self):
+        found = lint("""
+            class Cache:
+                def __init__(self):
+                    register_shared(self, "svc.cache")
+
+                def reset(self):
+                    self.a, self.b = 0, 0
+                    self.c: int = 0
+        """)
+        assert [f.code for f in found] == ["DAL012"] * 3
+
+    def test_non_lock_with_does_not_guard(self):
+        found = lint("""
+            class Cache:
+                def __init__(self):
+                    register_shared(self, "svc.cache")
+
+                def load(self):
+                    with open("f") as handle:
+                        self.data = handle.read()
+        """)
+        assert [f.code for f in found] == ["DAL012"]
+
+    def test_nested_function_writes_are_skipped(self):
+        assert lint("""
+            class Cache:
+                def __init__(self):
+                    register_shared(self, "svc.cache")
+
+                def make_cb(self):
+                    def cb(self):
+                        self.x = 1
+                    return cb
+        """) == []
+
+    def test_noqa_suppresses(self):
+        found = lint("""
+            class Cache:
+                def __init__(self):
+                    register_shared(self, "svc.cache")
+
+                def bump(self):
+                    self.hits = 1  # desks: noqa-DAL012 - init-once pattern
+        """)
+        assert [f.code for f in found if f.suppressed] == ["DAL012"]
+        assert not [f for f in found if not f.suppressed]

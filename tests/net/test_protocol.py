@@ -145,7 +145,21 @@ def test_corrupted_crc_is_typed():
 
 def test_check_payload_accepts_matching_crc():
     import zlib
-    assert check_payload(b"ok", zlib.crc32(b"ok")) == b"ok"
+    seed = zlib.crc32(bytes([int(MessageType.STATS_REQUEST)]))
+    crc = zlib.crc32(b"ok", seed) & 0xFFFFFFFF
+    assert check_payload(b"ok", crc, MessageType.STATS_REQUEST) == b"ok"
+
+
+def test_crc_is_seeded_with_the_type_byte():
+    """The same payload under a different type must not share a CRC."""
+    import zlib
+    seed = zlib.crc32(bytes([int(MessageType.STATS_REQUEST)]))
+    crc = zlib.crc32(b"ok", seed) & 0xFFFFFFFF
+    with pytest.raises(ChecksumMismatch):
+        check_payload(b"ok", crc, MessageType.HEALTH_REQUEST)
+    with pytest.raises(ChecksumMismatch):
+        check_payload(b"ok", zlib.crc32(b"ok") & 0xFFFFFFFF,
+                      MessageType.STATS_REQUEST)
 
 
 @pytest.mark.parametrize("cut", [0, 1, HEADER_SIZE - 1])
@@ -165,23 +179,34 @@ def test_truncated_payload_is_typed():
 def test_every_single_bit_flip_in_header_is_detected():
     """Exhaustive: no single-bit header corruption parses silently.
 
-    The one exception is the type byte (offset 3): it is not covered by
-    the payload CRC, so a flip there may alias to another *valid*
-    message type — which the dispatch layer then rejects as an
-    unexpected type.  Every other header bit must raise typed.
+    All 96 header bits — including the type byte, which the CRC seed
+    covers as of wire version 2 — must surface as a typed
+    :class:`ProtocolError`.  Wire v1 left the type byte unprotected: a
+    flip to another *valid* type parsed cleanly and dispatched the
+    payload as the wrong message.
     """
     blob = encode_frame(MessageType.SEARCH_REQUEST, b"body")
     for byte_index in range(HEADER_SIZE):
         for bit in range(8):
             mutated = bytearray(blob)
             mutated[byte_index] ^= 1 << bit
-            try:
-                msg_type, _payload = read_blob(bytes(mutated))
-            except ProtocolError:
-                continue
-            assert byte_index == 3, (
-                f"bit {bit} of header byte {byte_index} flipped silently")
-            assert msg_type is not MessageType.SEARCH_REQUEST
+            with pytest.raises(ProtocolError):
+                read_blob(bytes(mutated))
+
+
+def test_type_byte_flipped_to_valid_type_is_checksum_mismatch():
+    """A type flip that still spells a valid type fails the CRC, typed.
+
+    SEARCH_REQUEST (1) with bit 1 flipped is HEALTH_REQUEST (3): magic,
+    version, and length all still validate, and the type is known — only
+    the type-seeded CRC can catch it.
+    """
+    assert int(MessageType.SEARCH_REQUEST) ^ 0x02 == \
+        int(MessageType.HEALTH_REQUEST)
+    blob = bytearray(encode_frame(MessageType.SEARCH_REQUEST, b"body"))
+    blob[3] ^= 0x02
+    with pytest.raises(ChecksumMismatch):
+        read_blob(bytes(blob))
 
 
 def test_random_garbage_never_hangs_or_misparses():
